@@ -1,0 +1,33 @@
+"""Helpers shared by the per-table/figure benchmarks."""
+
+from __future__ import annotations
+
+import statistics
+import typing
+
+from repro.config import ExperimentConfig
+from repro.core.report import format_table
+from repro.core.runner import ExperimentRunner
+
+#: Seeds for the paper's run-everything-twice protocol.
+SEEDS = (0, 1)
+
+
+def mean_std(values: typing.Sequence[float]) -> tuple[float, float]:
+    return statistics.fmean(values), statistics.pstdev(values)
+
+
+def throughput(config: ExperimentConfig, seeds=SEEDS) -> tuple[float, float]:
+    """Mean/std sustainable throughput across seeds (open loop, saturated)."""
+    runner = ExperimentRunner(config.replace(ir=None))
+    return mean_std([runner.run(seed=s).throughput for s in seeds])
+
+
+def mean_latency(config: ExperimentConfig, seeds=SEEDS) -> tuple[float, float]:
+    """Mean/std of mean end-to-end latency across seeds."""
+    runner = ExperimentRunner(config)
+    return mean_std([runner.run(seed=s).latency.mean for s in seeds])
+
+
+def table(title: str, headers, rows) -> str:
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,40 @@
+"""Shared plumbing for the paper-reproduction benchmarks.
+
+Every benchmark prints a paper-vs-measured table and also writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be regenerated
+without re-running anything.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_table():
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Simulation experiments are deterministic and take seconds; repeating
+    them only rescales wall-clock, so one round is the right protocol.
+    """
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,64 @@
+"""Ablation: the model-size spectrum (takeaway 5, extended).
+
+Table 4's takeaway 5 — "larger models narrow the performance gap among
+serving tools" — is shown in the paper with two endpoints (FFNN,
+ResNet50). Adding MobileNetV1 (one of Fig. 2's candidate classifiers,
+~1.1 GFLOPs) fills in the middle of the spectrum: the embedded/external
+throughput ratio shrinks monotonically as compute per point grows and
+fixed per-request overheads stop mattering.
+"""
+
+from bench_util import table, throughput
+
+from repro.config import ExperimentConfig
+from repro.nn.zoo import model_info
+
+MODELS = ["ffnn", "mobilenet", "resnet50"]
+DURATIONS = {"ffnn": 3.0, "mobilenet": 10.0, "resnet50": 40.0}
+
+
+def test_ablation_model_size_spectrum(once, record_table):
+    def run_all():
+        measured = {}
+        for model in MODELS:
+            for tool in ("onnx", "tf_serving"):
+                config = ExperimentConfig(
+                    sps="flink",
+                    serving=tool,
+                    model=model,
+                    duration=DURATIONS[model],
+                )
+                measured[(model, tool)] = throughput(config, seeds=(0,))
+        return measured
+
+    measured = once(run_all)
+    rows = []
+    gaps = {}
+    for model in MODELS:
+        onnx = measured[(model, "onnx")][0]
+        tfs = measured[(model, "tf_serving")][0]
+        gaps[model] = onnx / tfs
+        info = model_info(model)
+        rows.append(
+            (
+                model,
+                f"{info.flops_per_point / 1e9:.3f}",
+                f"{onnx:,.2f}",
+                f"{tfs:,.2f}",
+                f"{gaps[model]:.2f}x",
+            )
+        )
+    record_table(
+        "ablation_model_size",
+        table(
+            "Ablation: embedded/external gap across the model-size spectrum "
+            "(Flink, bsz=1, mp=1)",
+            ["model", "GFLOPs/point", "onnx (e)", "tf_serving (x)", "gap"],
+            rows,
+        ),
+    )
+
+    # Takeaway 5, now as a monotone trend over three sizes.
+    assert gaps["ffnn"] > gaps["mobilenet"] > gaps["resnet50"]
+    assert gaps["ffnn"] > 1.8
+    assert gaps["resnet50"] < 1.35

@@ -1,0 +1,61 @@
+"""Ablation: gRPC vs REST for the external servers (§3.4.3).
+
+TF-Serving exposes both APIs; the paper "used the gRPC API in this
+study". This ablation quantifies the choice: REST's JSON payloads cost
+more to encode/decode and more bytes on the wire, so gRPC wins on both
+throughput and latency — more for large batches, where payload costs
+dominate the fixed request overhead.
+"""
+
+from bench_util import mean_latency, table, throughput
+
+from repro.config import ExperimentConfig, WorkloadKind
+
+
+def test_ablation_grpc_vs_rest(once, record_table):
+    def run_all():
+        loaded = ExperimentConfig(
+            sps="flink", serving="tf_serving", model="ffnn", duration=2.0
+        )
+        big_batch = ExperimentConfig(
+            sps="flink",
+            serving="tf_serving",
+            model="ffnn",
+            workload=WorkloadKind.CLOSED_LOOP,
+            ir=1.0,
+            bsz=128,
+            duration=8.0,
+        )
+        measured = {}
+        for protocol in ("grpc", "rest"):
+            measured[("throughput", protocol)] = throughput(
+                loaded.replace(protocol=protocol), seeds=(0,)
+            )[0]
+            measured[("latency128", protocol)] = mean_latency(
+                big_batch.replace(protocol=protocol), seeds=(0,)
+            )[0]
+        return measured
+
+    measured = once(run_all)
+    rows = [
+        (
+            protocol,
+            f"{measured[('throughput', protocol)]:,.0f}",
+            f"{measured[('latency128', protocol)] * 1e3:.1f}",
+        )
+        for protocol in ("grpc", "rest")
+    ]
+    record_table(
+        "ablation_protocol",
+        table(
+            "Ablation: TF-Serving over gRPC (paper) vs REST "
+            "(Flink + FFNN, mp=1)",
+            ["protocol", "events/s (bsz=1)", "latency ms (bsz=128)"],
+            rows,
+        ),
+    )
+
+    # gRPC wins throughput at bsz=1 and latency at bsz=128, where REST's
+    # JSON payload costs dominate.
+    assert measured[("throughput", "grpc")] > measured[("throughput", "rest")]
+    assert measured[("latency128", "grpc")] < 0.9 * measured[("latency128", "rest")]

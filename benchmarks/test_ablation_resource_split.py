@@ -1,0 +1,58 @@
+"""Ablation: non-uniform SPS/server resource allocation (§9 future work).
+
+The paper gives the external server as many workers as the SPS has
+scoring tasks (mp) and names optimal *non-uniform* splits as open work.
+With a fixed worker budget split between Flink scoring tasks (clients)
+and TF-Serving workers, this ablation maps the trade-off: blocking RPC
+makes client tasks the scarce resource for a cheap model, so the optimum
+is heavily client-sided — more evidence for §7.1's "decoupled
+scalability" argument.
+"""
+
+from bench_util import table, throughput
+
+from repro.config import ExperimentConfig
+
+TOTAL_WORKERS = 16
+SPLITS = [2, 4, 8, 12, 14]
+
+
+def test_ablation_resource_split(once, record_table):
+    def run_all():
+        measured = {}
+        for clients in SPLITS:
+            config = ExperimentConfig(
+                sps="flink",
+                serving="tf_serving",
+                model="ffnn",
+                duration=2.0,
+                mp=clients,
+                server_workers=TOTAL_WORKERS - clients,
+            )
+            measured[clients] = throughput(config, seeds=(0,))
+        return measured
+
+    measured = once(run_all)
+    rows = [
+        (f"{clients} / {TOTAL_WORKERS - clients}", f"{mean:,.0f}")
+        for clients, (mean, __) in measured.items()
+    ]
+    record_table(
+        "ablation_resource_split",
+        table(
+            f"Ablation: client/server split of {TOTAL_WORKERS} workers "
+            "(Flink + TF-Serving + FFNN, blocking RPC; events/s)",
+            ["flink tasks / server workers", "throughput"],
+            rows,
+        ),
+    )
+
+    # The uniform paper-style split is far from optimal for a cheap model:
+    # the best split in this sweep is client-heavy (blocking RPC keeps
+    # clients mostly idle on round trips)...
+    best_clients = max(measured, key=lambda c: measured[c][0])
+    assert best_clients > TOTAL_WORKERS // 2
+    assert measured[best_clients][0] > 1.2 * measured[TOTAL_WORKERS // 2][0]
+    # ...but the optimum is interior: starving the server eventually
+    # queues requests (14/2 is no better than 12/4).
+    assert measured[14][0] <= measured[12][0] * 1.02

@@ -1,0 +1,67 @@
+"""Figure 5: end-to-end latency vs batch size on Flink, FFNN (ir=1, mp=1).
+
+Paper anchors at bsz=128: TF-Serving 191 ms, DL4J 229 ms, SavedModel
+188 ms. Shapes: latency grows with bsz; the embedded options are close
+to each other; TF-Serving is comparable to — sometimes below — embedded
+latencies despite the network hop; stddev grows with bsz.
+"""
+
+from bench_util import mean_latency, table
+
+from repro.config import ExperimentConfig, WorkloadKind
+
+TOOLS = ["onnx", "savedmodel", "dl4j", "tf_serving", "torchserve"]
+BATCH_SIZES = [8, 32, 128, 512]
+PAPER_AT_128_MS = {"tf_serving": 191.0, "dl4j": 229.0, "savedmodel": 188.0}
+
+
+def test_fig5_latency_vs_batch_size(once, record_table):
+    def run_all():
+        measured = {}
+        for tool in TOOLS:
+            for bsz in BATCH_SIZES:
+                config = ExperimentConfig(
+                    sps="flink",
+                    serving=tool,
+                    model="ffnn",
+                    workload=WorkloadKind.CLOSED_LOOP,
+                    ir=1.0,
+                    bsz=bsz,
+                    duration=8.0,
+                )
+                measured[(tool, bsz)] = mean_latency(config)
+        return measured
+
+    measured = once(run_all)
+    rows = []
+    for tool in TOOLS:
+        for bsz in BATCH_SIZES:
+            mean, std = measured[(tool, bsz)]
+            paper = PAPER_AT_128_MS.get(tool) if bsz == 128 else None
+            rows.append(
+                (tool, bsz, f"{paper:.0f}" if paper else "-",
+                 f"{mean * 1e3:.1f}", f"{std * 1e3:.2f}")
+            )
+    record_table(
+        "fig5",
+        table(
+            "Fig. 5: latency vs bsz on Flink + FFNN (ms/batch)",
+            ["tool", "bsz", "paper (ms)", "measured (ms)", "std"],
+            rows,
+        ),
+    )
+
+    def latency(tool, bsz):
+        return measured[(tool, bsz)][0]
+
+    # Shape 1: latency grows with batch size for every tool.
+    for tool in TOOLS:
+        values = [latency(tool, bsz) for bsz in BATCH_SIZES]
+        assert values == sorted(values), tool
+    # Shape 2 (paper's headline surprise): the external TF-Serving sits
+    # inside the embedded band at bsz=128 — below DL4J, near SavedModel.
+    assert latency("tf_serving", 128) < latency("dl4j", 128)
+    assert latency("tf_serving", 128) < 1.35 * latency("savedmodel", 128)
+    # Shape 3: embedded options are within ~2x of each other.
+    embedded = [latency(t, 128) for t in ("onnx", "savedmodel", "dl4j")]
+    assert max(embedded) / min(embedded) < 2.0

@@ -1,0 +1,82 @@
+"""Figure 6: vertical scalability on Flink + FFNN (mp = 1..16, bsz=1).
+
+Paper peaks: ONNX ~13.6k @ mp=16, SavedModel ~10.4k @ 16, DL4J ~2.8k and
+flat past mp=8; TF-Serving ~9.8k @ 16 scaling ~linearly, TorchServe
+~2.8k @ 16. Embedded tools scale sublinearly (shared resources); the
+external ones keep improving with every worker added.
+"""
+
+from bench_util import table, throughput
+
+from repro.config import ExperimentConfig
+from repro.core.ascii_chart import render_chart
+
+TOOLS = ["onnx", "savedmodel", "dl4j", "tf_serving", "torchserve"]
+PARALLELISM = [1, 2, 4, 8, 16]
+PAPER_PEAK = {
+    "onnx": 13_600,
+    "savedmodel": 10_400,
+    "dl4j": 2_800,
+    "tf_serving": 9_800,
+    "torchserve": 2_800,
+}
+
+
+def test_fig6_vertical_scalability_ffnn(once, record_table):
+    def run_all():
+        measured = {}
+        for tool in TOOLS:
+            for mp in PARALLELISM:
+                config = ExperimentConfig(
+                    sps="flink", serving=tool, model="ffnn", mp=mp, duration=2.0
+                )
+                measured[(tool, mp)] = throughput(config)
+        return measured
+
+    measured = once(run_all)
+    rows = []
+    for tool in TOOLS:
+        peak = max(measured[(tool, mp)][0] for mp in PARALLELISM)
+        series = " ".join(f"{measured[(tool, mp)][0]:,.0f}" for mp in PARALLELISM)
+        rows.append(
+            (tool, series, f"{PAPER_PEAK[tool]:,}", f"{peak:,.0f}",
+             f"{peak / PAPER_PEAK[tool]:.2f}x")
+        )
+    chart = render_chart(
+        {
+            tool: [(mp, measured[(tool, mp)][0]) for mp in PARALLELISM]
+            for tool in TOOLS
+        },
+        x_label="mp",
+        log_y=True,
+    )
+    record_table(
+        "fig6",
+        table(
+            "Fig. 6: Flink + FFNN scaling (events/s at mp=1,2,4,8,16)",
+            ["tool", "measured series", "paper peak", "measured peak", "vs paper"],
+            rows,
+        )
+        + "\n\n"
+        + chart,
+    )
+
+    def rate(tool, mp):
+        return measured[(tool, mp)][0]
+
+    # Shape 1: every tool improves from mp=1 to mp=8.
+    for tool in TOOLS:
+        assert rate(tool, 8) > 2.5 * rate(tool, 1), tool
+    # Shape 2: DL4J stops scaling past mp=8 (engine cap).
+    assert rate("dl4j", 16) < 1.25 * rate("dl4j", 8)
+    # Shape 3: the others keep gaining at mp=16.
+    for tool in ("onnx", "savedmodel", "tf_serving", "torchserve"):
+        assert rate(tool, 16) > 1.3 * rate(tool, 8), tool
+    # Shape 4: external tools scale closer to linearly than embedded ones.
+    tf_speedup = rate("tf_serving", 16) / rate("tf_serving", 1)
+    onnx_speedup = rate("onnx", 16) / rate("onnx", 1)
+    assert tf_speedup > onnx_speedup
+    # Shape 5: peak ordering ONNX > SavedModel > TF-S > DL4J ~ TorchServe.
+    peaks = {t: max(rate(t, mp) for mp in PARALLELISM) for t in TOOLS}
+    assert peaks["onnx"] > peaks["savedmodel"] > peaks["tf_serving"]
+    assert peaks["tf_serving"] > peaks["dl4j"]

@@ -1,0 +1,64 @@
+"""Figure 7: vertical scalability on Flink + ResNet50 (mp = 1..16).
+
+Paper shapes: ONNX and TorchServe scale like they did for FFNN;
+TF-Serving shows *negligible* gains (single-session execution of large
+models); TorchServe starts behind TF-Serving but overtakes it past
+mp ~ 8.
+"""
+
+from bench_util import table, throughput
+
+from repro.config import ExperimentConfig
+
+TOOLS = ["onnx", "tf_serving", "torchserve"]
+PARALLELISM = [1, 2, 4, 8, 16]
+
+
+def test_fig7_vertical_scalability_resnet(once, record_table):
+    def run_all():
+        measured = {}
+        for tool in TOOLS:
+            for mp in PARALLELISM:
+                config = ExperimentConfig(
+                    sps="flink", serving=tool, model="resnet50", mp=mp, duration=40.0
+                )
+                measured[(tool, mp)] = throughput(config, seeds=(0,))
+        return measured
+
+    measured = once(run_all)
+    rows = [
+        (tool, " ".join(f"{measured[(tool, mp)][0]:.2f}" for mp in PARALLELISM))
+        for tool in TOOLS
+    ]
+    from repro.core.ascii_chart import render_chart
+
+    chart = render_chart(
+        {
+            tool: [(mp, measured[(tool, mp)][0]) for mp in PARALLELISM]
+            for tool in TOOLS
+        },
+        x_label="mp",
+    )
+    record_table(
+        "fig7",
+        table(
+            "Fig. 7: Flink + ResNet50 scaling (events/s at mp=1,2,4,8,16)",
+            ["tool", "measured series"],
+            rows,
+        )
+        + "\n\n"
+        + chart,
+    )
+
+    def rate(tool, mp):
+        return measured[(tool, mp)][0]
+
+    # Shape 1: ONNX scales like it did for FFNN.
+    assert rate("onnx", 16) > 4.0 * rate("onnx", 1)
+    # Shape 2: TF-Serving is flat — negligible gains from scaling.
+    assert rate("tf_serving", 16) < 1.4 * rate("tf_serving", 1)
+    # Shape 3: TorchServe loses at low mp but overtakes TF-Serving at
+    # high parallelism (paper: after mp=8).
+    assert rate("torchserve", 1) < rate("tf_serving", 1)
+    assert rate("torchserve", 2) < rate("tf_serving", 2)
+    assert rate("torchserve", 16) > rate("tf_serving", 16)

@@ -1,0 +1,101 @@
+"""Figure 8: periodic-burst recovery, ONNX vs TF-Serving on Flink.
+
+The paper drives 30 s bursts at 110% of sustainable throughput separated
+by 120 s at 70%, and measures the time from burst start until latency
+re-stabilizes. Paper: best recovery ONNX 41.37 s / TF-Serving 34.16 s;
+averages ONNX 46.52 s / TF-Serving 56.15 s — i.e. TF-Serving *can*
+recover faster but varies a lot between bursts, ONNX is stable.
+
+Time scaling: we shrink the cycle 10x (bd=3 s, tbb=12 s) to keep the
+simulation tractable; recovery times below are therefore in scaled
+seconds (multiply by 10 to compare with the paper's absolute numbers).
+"""
+
+import statistics
+
+from bench_util import table
+
+from repro.config import ExperimentConfig
+from repro.core.ascii_chart import render_chart
+from repro.core.scenarios import measure_sustainable_throughput, run_burst_scenario
+
+TOOLS = ["onnx", "tf_serving"]
+PAPER = {  # seconds, unscaled
+    "onnx": {"best": 41.37, "avg": 46.52},
+    "tf_serving": {"best": 34.16, "avg": 56.15},
+}
+SCALE = 10.0
+
+
+def test_fig8_burst_recovery(once, record_table):
+    def run_all():
+        outcome = {}
+        timelines = {}
+        for tool in TOOLS:
+            config = ExperimentConfig(
+                sps="flink",
+                serving=tool,
+                model="ffnn",
+                bd=3.0,
+                tbb=12.0,
+                duration=2.0,
+            )
+            st = measure_sustainable_throughput(config, seeds=(0,)).mean
+            recoveries = []
+            # 4 runs x 3 bursts: the scaled-down bursts are 10x shorter
+            # than the paper's, so we sample more of them per tool.
+            for seed in (0, 1, 2, 3):
+                scenario = run_burst_scenario(config, st, bursts=3, seed=seed)
+                recoveries.extend(scenario.recovery_times)
+                if seed == 0:
+                    # Keep one latency timeline per tool for the chart
+                    # (downsampled; Fig. 8 plots exactly this signal).
+                    series = scenario.result.series
+                    timelines[tool] = series[:: max(len(series) // 300, 1)]
+            outcome[tool] = recoveries
+        return outcome, timelines
+
+    outcome, timelines = once(run_all)
+    chart = render_chart(
+        {tool: list(points) for tool, points in timelines.items()},
+        title="latency over time (3 bursts; scaled seconds)",
+        x_label="time (s)",
+        log_y=True,
+        height=14,
+    )
+    rows = []
+    for tool in TOOLS:
+        recoveries = [SCALE * r for r in outcome[tool]]
+        rows.append(
+            (
+                tool,
+                f"{PAPER[tool]['best']:.1f}",
+                f"{min(recoveries):.1f}",
+                f"{PAPER[tool]['avg']:.1f}",
+                f"{statistics.fmean(recoveries):.1f}",
+                f"{statistics.pstdev(recoveries):.2f}",
+            )
+        )
+    record_table(
+        "fig8",
+        table(
+            "Fig. 8: burst recovery (seconds, rescaled 10x to paper time)",
+            ["tool", "paper best", "measured best", "paper avg", "measured avg", "std"],
+            rows,
+        )
+        + "\n\n"
+        + chart,
+    )
+
+    onnx, tfs = outcome["onnx"], outcome["tf_serving"]
+    assert len(onnx) >= 10 and len(tfs) >= 10  # recovered from ~all bursts
+    # Shape 1 (takeaway 6): TF-Serving's fastest recovery beats ONNX's
+    # fastest (paper: 34.16 s vs 41.37 s).
+    assert min(tfs) < min(onnx)
+    # Shape 2 (takeaway 6): TF-Serving varies far more between bursts.
+    assert statistics.pstdev(tfs) > 2.0 * statistics.pstdev(onnx)
+    # Shape 3: recovery lands in the right range — longer than the burst
+    # itself, well within the inter-burst window (paper: 34-56 s vs
+    # bd=30 s, tbb=120 s).
+    for recovery in onnx + tfs:
+        assert 3.0 <= recovery <= 3.0 + 12.0

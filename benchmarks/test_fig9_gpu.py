@@ -1,0 +1,67 @@
+"""Figure 9: GPU acceleration, Flink + ResNet50 (ir=0.2, mp=1, bsz=8).
+
+Paper (ms/batch): onnx-cpu 3698 -> onnx-gpu 3089 (-16.4%);
+tf-serving-cpu 3974 -> tf-serving-gpu 3016 (-24.1%). tf-serving-gpu also
+beats onnx-cpu by ~18% — an accelerated external server amortizes its
+network overhead.
+"""
+
+from bench_util import mean_latency, table
+
+from repro.config import ExperimentConfig, WorkloadKind
+
+PAPER_MS = {
+    ("onnx", False): 3698,
+    ("onnx", True): 3089,
+    ("tf_serving", False): 3974,
+    ("tf_serving", True): 3016,
+}
+
+
+def test_fig9_gpu_acceleration(once, record_table):
+    def run_all():
+        measured = {}
+        for (tool, gpu) in PAPER_MS:
+            config = ExperimentConfig(
+                sps="flink",
+                serving=tool,
+                model="resnet50",
+                workload=WorkloadKind.CLOSED_LOOP,
+                ir=0.2,
+                bsz=8,
+                gpu=gpu,
+                duration=60.0,
+            )
+            measured[(tool, gpu)] = mean_latency(config)
+        return measured
+
+    measured = once(run_all)
+    rows = []
+    for (tool, gpu), paper in PAPER_MS.items():
+        mean, std = measured[(tool, gpu)]
+        label = f"{tool}-{'gpu' if gpu else 'cpu'}"
+        rows.append(
+            (label, paper, f"{mean * 1e3:.0f}", f"{std * 1e3:.0f}",
+             f"{mean * 1e3 / paper:.2f}x")
+        )
+    record_table(
+        "fig9",
+        table(
+            "Fig. 9: ResNet50 latency, CPU vs GPU (ms/batch, bsz=8)",
+            ["configuration", "paper (ms)", "measured (ms)", "std", "vs paper"],
+            rows,
+        ),
+    )
+
+    def latency(tool, gpu):
+        return measured[(tool, gpu)][0]
+
+    onnx_gain = 1 - latency("onnx", True) / latency("onnx", False)
+    tfs_gain = 1 - latency("tf_serving", True) / latency("tf_serving", False)
+    # Shape 1: both gain from the GPU (paper: 16.4% and 24.1%).
+    assert 0.08 < onnx_gain < 0.30
+    assert 0.15 < tfs_gain < 0.40
+    # Shape 2: the specialized server benefits more than the embedded lib.
+    assert tfs_gain > onnx_gain
+    # Shape 3: the GPU-accelerated external server beats embedded CPU.
+    assert latency("tf_serving", True) < latency("onnx", False)

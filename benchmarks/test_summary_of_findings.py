@@ -1,0 +1,103 @@
+"""The paper's "Summary of major findings" (§1), verified end to end.
+
+Four headline claims open the paper; this capstone benchmark measures
+each one directly, independent of the per-figure reproductions:
+
+1. Significant performance variation among serving frameworks of the
+   same type for the same SPS.
+2. No clear embedded/external dichotomy — external serving can beat
+   embedded designs under some conditions.
+3. Every examined configuration benefits from GPU acceleration, to
+   varying extents.
+4. A given serving framework performs very differently depending on the
+   SPS it is integrated with.
+"""
+
+from bench_util import mean_latency, table, throughput
+
+from repro.config import ExperimentConfig, WorkloadKind
+
+
+def test_summary_of_major_findings(once, record_table):
+    def run_all():
+        measured = {}
+        # Finding 1/2: all five tools on Flink (throughput) + a latency
+        # comparison of external TF-Serving vs embedded DL4J.
+        for tool in ("onnx", "savedmodel", "dl4j", "tf_serving", "torchserve"):
+            measured[("tput", tool)] = throughput(
+                ExperimentConfig(sps="flink", serving=tool, model="ffnn", duration=2.0),
+                seeds=(0,),
+            )[0]
+        for tool in ("dl4j", "tf_serving"):
+            measured[("lat128", tool)] = mean_latency(
+                ExperimentConfig(
+                    sps="flink", serving=tool, model="ffnn",
+                    workload=WorkloadKind.CLOSED_LOOP, ir=1.0, bsz=128, duration=8.0,
+                ),
+                seeds=(0,),
+            )[0]
+        # Finding 3: GPU gains for one embedded and one external tool.
+        for tool in ("onnx", "tf_serving"):
+            for gpu in (False, True):
+                measured[("gpu", tool, gpu)] = mean_latency(
+                    ExperimentConfig(
+                        sps="flink", serving=tool, model="resnet50",
+                        workload=WorkloadKind.CLOSED_LOOP, ir=0.2, bsz=8,
+                        duration=40.0, gpu=gpu,
+                    ),
+                    seeds=(0,),
+                )[0]
+        # Finding 4: the same tool (TF-Serving) across all four SPSs.
+        for sps in ("flink", "kafka_streams", "spark_ss", "ray"):
+            measured[("sps", sps)] = throughput(
+                ExperimentConfig(
+                    sps=sps, serving="tf_serving", model="ffnn",
+                    duration=4.0 if sps == "spark_ss" else 2.0,
+                ),
+                seeds=(0,),
+            )[0]
+        return measured
+
+    m = once(run_all)
+
+    embedded = [m[("tput", t)] for t in ("onnx", "savedmodel", "dl4j")]
+    external = [m[("tput", t)] for t in ("tf_serving", "torchserve")]
+    gpu_gain = {
+        tool: 1 - m[("gpu", tool, True)] / m[("gpu", tool, False)]
+        for tool in ("onnx", "tf_serving")
+    }
+    sps_rates = {sps: m[("sps", sps)] for sps in ("flink", "kafka_streams", "spark_ss", "ray")}
+
+    rows = [
+        ("1. same-type variation",
+         f"embedded spread {max(embedded) / min(embedded):.2f}x, "
+         f"external spread {max(external) / min(external):.2f}x"),
+        ("2. no dichotomy",
+         f"external tf_serving {m[('lat128', 'tf_serving')] * 1e3:.0f} ms < "
+         f"embedded dl4j {m[('lat128', 'dl4j')] * 1e3:.0f} ms at bsz=128"),
+        ("3. GPU helps all",
+         f"onnx -{gpu_gain['onnx']:.0%}, tf_serving -{gpu_gain['tf_serving']:.0%}"),
+        ("4. SPS matters",
+         "tf_serving events/s: "
+         + ", ".join(f"{sps} {rate:,.0f}" for sps, rate in sps_rates.items())),
+    ]
+    record_table(
+        "summary_findings",
+        table(
+            "The paper's summary of major findings, measured",
+            ["finding", "measured evidence"],
+            rows,
+        ),
+    )
+
+    # 1. Same-type variation is significant (paper: DL4J 42.6% below
+    #    SavedModel; TF-Serving ~3x TorchServe).
+    assert max(embedded) / min(embedded) > 1.4
+    assert max(external) / min(external) > 1.8
+    # 2. An external tool beats an embedded one on latency.
+    assert m[("lat128", "tf_serving")] < m[("lat128", "dl4j")]
+    # 3. Every configuration gains from the GPU, to varying extents.
+    assert all(gain > 0.05 for gain in gpu_gain.values())
+    assert abs(gpu_gain["onnx"] - gpu_gain["tf_serving"]) > 0.02
+    # 4. The same tool varies by an order of magnitude across SPSs.
+    assert max(sps_rates.values()) / min(sps_rates.values()) > 10

@@ -1,0 +1,104 @@
+"""Table 5: throughput across stream processors, FFNN (bsz=1, mp=1).
+
+Paper (events/s): Flink 1373.07 / 617.2, Kafka Streams 2054.21 / 702.12,
+Spark SS 4044.99 / 3924.49, Ray 157.4 / 122.44 — for ONNX (embedded) /
+TF-Serving (external) respectively. Also §5.3.1: with ir=512 and ONNX,
+Kafka Streams serves one event in 16.25 ms vs 290.78 ms on Spark SS.
+"""
+
+from bench_util import mean_latency, table, throughput
+
+from repro.config import ExperimentConfig, WorkloadKind
+
+PAPER = {
+    ("flink", "onnx"): 1373.07,
+    ("flink", "tf_serving"): 617.2,
+    ("kafka_streams", "onnx"): 2054.21,
+    ("kafka_streams", "tf_serving"): 702.12,
+    ("spark_ss", "onnx"): 4044.99,
+    ("spark_ss", "tf_serving"): 3924.49,
+    ("ray", "onnx"): 157.4,
+    ("ray", "tf_serving"): 122.44,
+}
+
+
+def test_table5_sps_throughput(once, record_table):
+    def run_all():
+        measured = {}
+        for (sps, tool) in PAPER:
+            duration = 4.0 if sps == "spark_ss" else 3.0
+            config = ExperimentConfig(
+                sps=sps, serving=tool, model="ffnn", duration=duration
+            )
+            measured[(sps, tool)] = throughput(config)
+        return measured
+
+    measured = once(run_all)
+    rows = []
+    for (sps, tool), paper in PAPER.items():
+        mean, std = measured[(sps, tool)]
+        rows.append(
+            (sps, tool, f"{paper:,.0f}", f"{mean:,.0f}", f"{std:,.0f}",
+             f"{mean / paper:.2f}x")
+        )
+    record_table(
+        "table5",
+        table(
+            "Table 5: SPS throughput comparison, FFNN (events/s), bsz=1 mp=1",
+            ["sps", "tool", "paper", "measured", "std", "vs paper"],
+            rows,
+        ),
+    )
+
+    def rate(sps, tool):
+        return measured[(sps, tool)][0]
+
+    # Shape 1: SPS ordering for both serving tools: Spark > KS > Flink > Ray.
+    for tool in ("onnx", "tf_serving"):
+        assert rate("spark_ss", tool) > rate("kafka_streams", tool)
+        assert rate("kafka_streams", tool) > rate("flink", tool)
+        assert rate("flink", tool) > rate("ray", tool)
+    # Shape 2: Spark nearly erases the embedded/external gap (<15% apart);
+    # the event-at-a-time engines keep a >2x gap.
+    assert rate("spark_ss", "onnx") / rate("spark_ss", "tf_serving") < 1.15
+    assert rate("flink", "onnx") / rate("flink", "tf_serving") > 2.0
+    # Shape 3: Kafka Streams boosts ONNX over Flink by a larger factor
+    # than it boosts TF-Serving (paper: +49.6% vs +13.7%).
+    onnx_boost = rate("kafka_streams", "onnx") / rate("flink", "onnx")
+    tfs_boost = rate("kafka_streams", "tf_serving") / rate("flink", "tf_serving")
+    assert onnx_boost > tfs_boost > 1.0
+
+
+def test_table5_event_latency_ks_vs_spark(once, record_table):
+    """§5.3.1: at ir=512 Kafka Streams serves one event ~18x faster than
+    Spark SS (16.25 ms vs 290.78 ms)."""
+
+    def run_both():
+        measured = {}
+        for sps in ("kafka_streams", "spark_ss"):
+            config = ExperimentConfig(
+                sps=sps,
+                serving="onnx",
+                model="ffnn",
+                workload=WorkloadKind.OPEN_LOOP,
+                ir=512.0,
+                duration=6.0,
+            )
+            measured[sps] = mean_latency(config, seeds=(0,))
+        return measured
+
+    measured = once(run_both)
+    rows = [
+        ("kafka_streams", "16.25", f"{measured['kafka_streams'][0] * 1e3:.2f}"),
+        ("spark_ss", "290.78", f"{measured['spark_ss'][0] * 1e3:.2f}"),
+    ]
+    record_table(
+        "table5_latency",
+        table(
+            "§5.3.1: per-event latency at ir=512, ONNX (ms)",
+            ["sps", "paper", "measured"],
+            rows,
+        ),
+    )
+    assert measured["spark_ss"][0] > 5.0 * measured["kafka_streams"][0]
+    assert measured["kafka_streams"][0] < 0.05

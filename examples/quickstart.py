@@ -1,0 +1,50 @@
+"""Quickstart: benchmark one streaming-inference configuration.
+
+Runs the paper's default setup — Apache Flink serving the FFNN model
+through embedded ONNX Runtime, fed through the Kafka broker — first
+saturated (sustainable throughput), then at a low rate (inference-
+dominated latency), and prints both.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import ExperimentConfig, WorkloadKind
+from repro.core.report import format_ms, format_rate, format_table
+from repro.core.runner import run_experiment
+
+
+def main() -> None:
+    # One configuration = stream processor + serving tool + model (§2.2.1).
+    config = ExperimentConfig(
+        sps="flink",
+        serving="onnx",
+        model="ffnn",
+        bsz=1,  # data points per CrayfishDataBatch
+        mp=1,  # inference workers
+        duration=3.0,  # simulated seconds
+    )
+
+    # Open loop, input-saturated: how many events/s can the SUT sustain?
+    saturated = run_experiment(config.replace(ir=None))
+
+    # Closed loop at 1 event/s: latency dominated by the inference path.
+    closed = run_experiment(
+        config.replace(workload=WorkloadKind.CLOSED_LOOP, ir=1.0, duration=8.0)
+    )
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("sustainable throughput", f"{format_rate(saturated.throughput)} events/s"),
+                ("closed-loop mean latency", f"{format_ms(closed.latency.mean)} ms"),
+                ("closed-loop p95 latency", f"{format_ms(closed.latency.p95)} ms"),
+                ("batches measured", saturated.latency.count + closed.latency.count),
+            ],
+            title=f"Crayfish quickstart: {config.label()}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

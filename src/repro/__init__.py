@@ -1,0 +1,49 @@
+"""Crayfish reproduction: ML inference benchmarking for stream processors.
+
+This package reimplements, from scratch and on top of a deterministic
+discrete-event simulation, the Crayfish benchmarking framework (EDBT 2024)
+together with every substrate its evaluation depends on: a Kafka-like
+message broker, four stream-processing engines, three embedded
+interoperability libraries, three external serving frameworks, and a real
+NumPy neural-network library providing the pre-trained models.
+
+The public entry points are:
+
+- :mod:`repro.core` -- the Crayfish framework (experiments, scenarios,
+  metrics, reports).
+- :mod:`repro.sps` -- stream-processor adapters (Flink, Kafka Streams,
+  Spark Structured Streaming, Ray).
+- :mod:`repro.serving` -- embedded and external model-serving tools.
+- :mod:`repro.nn` -- the neural-network library and model zoo.
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "WorkloadKind",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "run_experiment",
+]
+
+_LAZY = {
+    "ExperimentConfig": ("repro.config", "ExperimentConfig"),
+    "WorkloadKind": ("repro.config", "WorkloadKind"),
+    "ExperimentRunner": ("repro.core.runner", "ExperimentRunner"),
+    "ExperimentResult": ("repro.core.runner", "ExperimentResult"),
+    "run_experiment": ("repro.core.runner", "run_experiment"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the top-level convenience exports (PEP 562)."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

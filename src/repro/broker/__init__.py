@@ -1,0 +1,27 @@
+"""Simulated Kafka-like publish/subscribe message broker.
+
+Topics are split into partitions, each an append-only log owned by one of
+the brokers in the cluster. Records are stamped with ``LogAppendTime`` —
+the broker-local (simulated) time at append — which is how Crayfish
+measures the *end* timestamp of a batch (§3.3). Producers pay a network
+transfer plus broker append service; consumers pull with Kafka-style
+``poll`` semantics, so both push-style engines (which run their own fetch
+loops) and pull-style engines can be built on top.
+"""
+
+from repro.broker.records import ConsumerRecord, RecordMetadata
+from repro.broker.partition import PartitionLog
+from repro.broker.topic import Topic
+from repro.broker.cluster import BrokerCluster
+from repro.broker.producer import Producer
+from repro.broker.consumer import Consumer
+
+__all__ = [
+    "ConsumerRecord",
+    "RecordMetadata",
+    "PartitionLog",
+    "Topic",
+    "BrokerCluster",
+    "Producer",
+    "Consumer",
+]

@@ -1,0 +1,169 @@
+"""The broker cluster: topic management plus broker-side service costs.
+
+The paper deploys 4 Kafka brokers and verifies they are never the
+bottleneck (§3.5). Each partition is owned by one broker; appends and
+fetches occupy that broker's service resource for a size-dependent time,
+so a *mis*-configured cluster would show up as queueing — reproducing the
+paper's bottleneck check.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration as cal
+from repro.broker.records import ConsumerRecord, RecordMetadata
+from repro.broker.topic import Topic
+from repro.errors import ConfigError, MessageTooLargeError, UnknownTopicError
+from repro.netsim import Link
+from repro.simul import Environment, Resource
+
+
+class BrokerCluster:
+    """A cluster of ``broker_count`` brokers sharing topic partitions."""
+
+    def __init__(
+        self,
+        env: Environment,
+        broker_count: int = cal.BROKER_COUNT,
+        max_request_bytes: float = cal.BROKER_MAX_REQUEST_BYTES,
+        link: Link | None = None,
+    ) -> None:
+        if broker_count < 1:
+            raise ConfigError(f"need >= 1 broker, got {broker_count}")
+        self.env = env
+        self.broker_count = broker_count
+        self.max_request_bytes = max_request_bytes
+        self.link = link if link is not None else Link()
+        self._topics: dict[str, Topic] = {}
+        # One service unit per broker: appends/fetches to its partitions
+        # queue here.
+        self._brokers = [Resource(env, capacity=1) for __ in range(broker_count)]
+
+    # -- admin ---------------------------------------------------------
+
+    def create_topic(self, name: str, partitions: int) -> Topic:
+        if name in self._topics:
+            raise ConfigError(f"topic {name!r} already exists")
+        topic = Topic(self.env, name, partitions)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Topic:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise UnknownTopicError(name) from None
+
+    def broker_for(self, topic: str, partition: int) -> Resource:
+        """The broker resource owning a partition (round-robin layout)."""
+        __ = self.topic(topic)  # validate
+        return self._brokers[partition % self.broker_count]
+
+    # -- data path -----------------------------------------------------
+
+    def append(
+        self,
+        topic: str,
+        partition: int,
+        timestamp: float,
+        value: typing.Any,
+        nbytes: float,
+    ) -> typing.Generator:
+        """Coroutine: network transfer + broker append service.
+
+        Returns :class:`RecordMetadata`; the record's ``log_append_time``
+        is the broker clock when the append completes (§3.3 step 5).
+        """
+        if nbytes > self.max_request_bytes:
+            raise MessageTooLargeError(
+                f"{nbytes:.0f} B exceeds max.request.size "
+                f"{self.max_request_bytes:.0f} B"
+            )
+        log = self.topic(topic).partition(partition)
+        yield self.env.timeout(self.link.transfer_time(nbytes))
+        broker = self.broker_for(topic, partition)
+        with broker.request() as req:
+            yield req
+            service = cal.BROKER_APPEND_OVERHEAD + nbytes / cal.BROKER_IO_BANDWIDTH
+            yield self.env.timeout(service)
+            record = log.append(timestamp, value, nbytes)
+        return RecordMetadata(
+            topic=topic,
+            partition=partition,
+            offset=record.offset,
+            log_append_time=record.log_append_time,
+        )
+
+    def fetch(
+        self, topic: str, partition: int, offset: int, max_records: int
+    ) -> typing.Generator:
+        """Coroutine: broker fetch service + network transfer back.
+
+        Returns the (possibly empty) list of records available now.
+        """
+        log = self.topic(topic).partition(partition)
+        records = log.fetch(offset, max_records)
+        broker = self.broker_for(topic, partition)
+        with broker.request() as req:
+            yield req
+            nbytes = sum(r.nbytes for r in records)
+            service = cal.BROKER_FETCH_OVERHEAD + nbytes / cal.BROKER_IO_BANDWIDTH
+            yield self.env.timeout(service)
+        if records:
+            total = sum(r.nbytes for r in records)
+            yield self.env.timeout(self.link.transfer_time(total))
+        return list(records)
+
+    def fetch_many(
+        self,
+        topic: str,
+        offsets: dict[int, int],
+        max_records: int,
+        data_transfer: bool = True,
+    ) -> typing.Generator:
+        """Coroutine: one fetch request spanning several partitions.
+
+        Mirrors Kafka's batched fetch: a single request/response pays one
+        fixed overhead plus size-proportional service and transfer costs.
+        ``data_transfer=False`` fetches only offsets/metadata — Spark's
+        driver plans micro-batches this way while executors pull the
+        record data directly from the brokers in parallel.
+        Returns ``(records, new_offsets)``.
+        """
+        topic_obj = self.topic(topic)
+        records: list[ConsumerRecord] = []
+        new_offsets = dict(offsets)
+        byte_budget = self.max_request_bytes  # Kafka's fetch.max.bytes
+        for partition, offset in offsets.items():
+            budget = max_records - len(records)
+            if budget <= 0 or byte_budget <= 0:
+                break
+            chunk = topic_obj.partition(partition).fetch(offset, budget)
+            taken = []
+            for record in chunk:
+                # Always make progress: accept at least one record even if
+                # it alone exceeds the byte budget (Kafka does the same).
+                if taken and record.nbytes > byte_budget:
+                    break
+                taken.append(record)
+                byte_budget -= record.nbytes
+            if taken:
+                records.extend(taken)
+                new_offsets[partition] = taken[-1].offset + 1
+        # The fetch response is served by the broker owning the first
+        # requested partition; size-based costs dominate anyway.
+        first = next(iter(offsets))
+        broker = self.broker_for(topic, first)
+        nbytes = sum(r.nbytes for r in records) if data_transfer else 0.0
+        with broker.request() as req:
+            yield req
+            service = cal.BROKER_FETCH_OVERHEAD + nbytes / cal.BROKER_IO_BANDWIDTH
+            yield self.env.timeout(service)
+        if records and data_transfer:
+            yield self.env.timeout(self.link.transfer_time(nbytes))
+        return records, new_offsets
+
+    def wait_for_data(self, topic: str, partition: int, offset: int):
+        """Event firing once the partition has records past ``offset``."""
+        return self.topic(topic).partition(partition).data_available(offset)

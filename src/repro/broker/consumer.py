@@ -1,0 +1,96 @@
+"""Consumer client with Kafka-style group partition assignment."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.broker.cluster import BrokerCluster
+from repro.broker.records import ConsumerRecord
+from repro.errors import ConfigError
+from repro.simul import Environment
+
+
+def assign_partitions(partition_count: int, member: int, members: int) -> list[int]:
+    """Range assignment: which partitions ``member`` of ``members`` owns."""
+    if members < 1:
+        raise ConfigError(f"members must be >= 1, got {members}")
+    if not 0 <= member < members:
+        raise ConfigError(f"member index {member} out of range for {members}")
+    return [p for p in range(partition_count) if p % members == member]
+
+
+class Consumer:
+    """One consumer-group member reading a subset of a topic's partitions.
+
+    ``poll`` blocks (in simulated time) until at least one record is
+    available on an assigned partition, mirroring ``KafkaConsumer.poll``.
+    Deserialization is charged by the caller, not here.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: BrokerCluster,
+        topic: str,
+        member: int = 0,
+        members: int = 1,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.topic = topic
+        partition_count = cluster.topic(topic).partition_count
+        self.partitions = assign_partitions(partition_count, member, members)
+        if not self.partitions:
+            raise ConfigError(
+                f"consumer {member}/{members} got no partitions of "
+                f"{topic!r} ({partition_count} partitions)"
+            )
+        self._offsets = {p: 0 for p in self.partitions}
+        self.records_consumed = 0
+
+    def lag(self) -> int:
+        """Total records appended but not yet consumed on our partitions."""
+        topic = self.cluster.topic(self.topic)
+        return sum(
+            topic.partition(p).end_offset - self._offsets[p] for p in self.partitions
+        )
+
+    def position(self) -> dict[int, int]:
+        """Current consume offsets per assigned partition (for
+        checkpointing)."""
+        return dict(self._offsets)
+
+    def seek(self, offsets: dict[int, int]) -> None:
+        """Rewind/advance to the given offsets (checkpoint restore)."""
+        for partition, offset in offsets.items():
+            if partition not in self._offsets:
+                raise ConfigError(
+                    f"partition {partition} is not assigned to this consumer"
+                )
+            if offset < 0:
+                raise ConfigError(f"negative offset {offset}")
+            self._offsets[partition] = offset
+
+    def poll(
+        self, max_records: int = 500, data_transfer: bool = True
+    ) -> typing.Generator:
+        """Coroutine: block until records are available, then fetch.
+
+        ``data_transfer=False`` is the metadata-only planning fetch (see
+        :meth:`BrokerCluster.fetch_many`). Returns a non-empty list of
+        :class:`ConsumerRecord`.
+        """
+        while True:
+            if self.lag() == 0:
+                # Nothing anywhere: sleep until an assigned partition grows.
+                waiters = [
+                    self.cluster.wait_for_data(self.topic, p, self._offsets[p])
+                    for p in self.partitions
+                ]
+                yield self.env.any_of(waiters)
+            records, self._offsets = yield from self.cluster.fetch_many(
+                self.topic, self._offsets, max_records, data_transfer=data_transfer
+            )
+            if records:
+                self.records_consumed += len(records)
+                return records

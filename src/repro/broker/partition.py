@@ -1,0 +1,63 @@
+"""A single topic partition: an append-only record log."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.broker.records import ConsumerRecord
+from repro.simul import Environment, Event
+
+
+class PartitionLog:
+    """Append-only log with monotonically increasing offsets.
+
+    Consumers track their own offsets; the log never forgets (retention
+    is irrelevant at benchmark time scales).
+    """
+
+    def __init__(self, env: Environment, topic: str, index: int) -> None:
+        self.env = env
+        self.topic = topic
+        self.index = index
+        self._records: list[ConsumerRecord] = []
+        self._waiters: list[Event] = []
+
+    @property
+    def end_offset(self) -> int:
+        """Offset the next record will receive (== current length)."""
+        return len(self._records)
+
+    def append(self, timestamp: float, value: typing.Any, nbytes: float) -> ConsumerRecord:
+        """Append at the current simulated time (LogAppendTime semantics)."""
+        record = ConsumerRecord(
+            topic=self.topic,
+            partition=self.index,
+            offset=len(self._records),
+            timestamp=timestamp,
+            log_append_time=self.env.now,
+            value=value,
+            nbytes=nbytes,
+        )
+        self._records.append(record)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+        return record
+
+    def fetch(self, offset: int, max_records: int) -> list[ConsumerRecord]:
+        """Records in ``[offset, offset + max_records)`` that exist now."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        return self._records[offset : offset + max_records]
+
+    def data_available(self, offset: int) -> Event:
+        """Event firing once the log grows past ``offset``."""
+        event = Event(self.env)
+        if len(self._records) > offset:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event

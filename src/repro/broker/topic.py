@@ -1,0 +1,27 @@
+"""Topics: named groups of partitions."""
+
+from __future__ import annotations
+
+from repro.broker.partition import PartitionLog
+from repro.errors import ConfigError
+from repro.simul import Environment
+
+
+class Topic:
+    """A named topic with a fixed number of partitions."""
+
+    def __init__(self, env: Environment, name: str, partitions: int) -> None:
+        if partitions < 1:
+            raise ConfigError(f"topic needs >= 1 partition, got {partitions}")
+        self.name = name
+        self.partitions = [PartitionLog(env, name, i) for i in range(partitions)]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    def partition(self, index: int) -> PartitionLog:
+        return self.partitions[index]
+
+    def total_records(self) -> int:
+        return sum(p.end_offset for p in self.partitions)

@@ -1,0 +1,211 @@
+"""Command-line interface: run single experiments or scenario presets.
+
+Examples::
+
+    crayfish run --sps flink --serving onnx --model ffnn
+    crayfish run --sps kafka_streams --serving tf_serving --mp 8
+    crayfish latency --sps flink --serving onnx --bsz 128
+    crayfish bursts --sps flink --serving onnx
+    crayfish list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro import calibration  # noqa: F401 - ensures constants import cleanly
+from repro.config import (
+    ExperimentConfig,
+    MODEL_NAMES,
+    SERVING_TOOLS,
+    SPS_NAMES,
+    WorkloadKind,
+)
+from repro.core.report import format_ms, format_rate, format_table
+from repro.core.runner import run_experiment
+from repro.core.scenarios import (
+    measure_closed_loop_latency,
+    measure_sustainable_throughput,
+    run_burst_scenario,
+)
+
+
+def _add_sut_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sps", default="flink", choices=SPS_NAMES)
+    parser.add_argument("--serving", default="onnx", choices=SERVING_TOOLS)
+    parser.add_argument("--model", default="ffnn", choices=MODEL_NAMES)
+    parser.add_argument("--bsz", type=int, default=1, help="points per event")
+    parser.add_argument("--mp", type=int, default=1, help="inference workers")
+    parser.add_argument("--gpu", action="store_true", help="enable the GPU model")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=5.0, help="simulated seconds")
+    parser.add_argument(
+        "--async-io", type=int, default=0, dest="async_io",
+        help="Flink async I/O in-flight window for external calls (0=blocking)",
+    )
+    parser.add_argument(
+        "--server-workers", type=int, default=None, dest="server_workers",
+        help="external server workers (default: = mp)",
+    )
+    parser.add_argument(
+        "--json", default=None, dest="json_path",
+        help="also write the result(s) as JSON to this path",
+    )
+
+
+def _config_from(args: argparse.Namespace, **extra: typing.Any) -> ExperimentConfig:
+    return ExperimentConfig(
+        sps=args.sps,
+        serving=args.serving,
+        model=args.model,
+        bsz=args.bsz,
+        mp=args.mp,
+        gpu=args.gpu,
+        seed=args.seed,
+        duration=args.duration,
+        async_io=args.async_io,
+        server_workers=args.server_workers,
+        **extra,
+    )
+
+
+def _maybe_dump(args: argparse.Namespace, results) -> None:
+    if getattr(args, "json_path", None):
+        from repro.core.results_io import save_results
+
+        save_results(results, args.json_path)
+        print(f"results written to {args.json_path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args, ir=args.ir)
+    result = run_experiment(config)
+    rows = [
+        ("throughput (events/s)", format_rate(result.throughput)),
+        ("mean latency (ms)", format_ms(result.latency.mean)),
+        ("p95 latency (ms)", format_ms(result.latency.p95)),
+        ("completed batches", result.completed),
+    ]
+    print(format_table(["metric", "value"], rows, title=config.label()))
+    _maybe_dump(args, [result])
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweep import sweep
+
+    base = _config_from(args, ir=args.ir)
+    values = [int(v) for v in args.values.split(",")]
+    rows = []
+
+    def progress(overrides, results):
+        rows.append(
+            (
+                overrides[args.field],
+                format_rate(sum(r.throughput for r in results) / len(results)),
+                format_ms(sum(r.latency.mean for r in results) / len(results)),
+            )
+        )
+
+    points = sweep(
+        base,
+        grid={args.field: values},
+        seeds=(args.seed, args.seed + 1),
+        hook=progress,
+    )
+    print(
+        format_table(
+            [args.field, "events/s", "mean latency (ms)"],
+            rows,
+            title=f"{base.label()} sweep over {args.field}",
+        )
+    )
+    _maybe_dump(args, [r for point in points for r in point.results])
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    config = _config_from(args, ir=args.ir, workload=WorkloadKind.CLOSED_LOOP)
+    aggregate, __ = measure_closed_loop_latency(config, seeds=(args.seed, args.seed + 1))
+    print(
+        f"{config.label()}  bsz={config.bsz}: "
+        f"{format_ms(aggregate.mean)} ms/batch (std {format_ms(aggregate.std)})"
+    )
+    return 0
+
+
+def _cmd_bursts(args: argparse.Namespace) -> int:
+    config = _config_from(args, bd=args.bd, tbb=args.tbb)
+    st = measure_sustainable_throughput(config, seeds=(args.seed,)).mean
+    outcome = run_burst_scenario(config, st, bursts=args.bursts, seed=args.seed)
+    print(f"{config.label()}: sustainable throughput {format_rate(st)} events/s")
+    for i, report in enumerate(outcome.reports):
+        recovered = (
+            f"{report.recovery_time:.2f}s"
+            if report.recovery_time is not None
+            else "not recovered"
+        )
+        print(
+            f"  burst {i + 1} @ {report.burst_start:.0f}s: recovery {recovered}, "
+            f"peak latency {format_ms(report.peak_latency)} ms"
+        )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print(format_table(["kind", "names"], [
+        ("stream processors", ", ".join(SPS_NAMES)),
+        ("serving tools", ", ".join(SERVING_TOOLS)),
+        ("models", ", ".join(MODEL_NAMES)),
+    ]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crayfish",
+        description="Crayfish reproduction: benchmark ML inference in "
+        "simulated stream processing systems.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="one open-loop experiment")
+    _add_sut_args(run_cmd)
+    run_cmd.add_argument("--ir", type=float, default=None, help="input rate; omit to saturate")
+    run_cmd.set_defaults(func=_cmd_run)
+
+    sweep_cmd = commands.add_parser("sweep", help="sweep one config field")
+    _add_sut_args(sweep_cmd)
+    sweep_cmd.add_argument("--ir", type=float, default=None)
+    sweep_cmd.add_argument("--field", default="mp", help="config field to sweep")
+    sweep_cmd.add_argument(
+        "--values", default="1,2,4,8,16", help="comma-separated integer values"
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    lat_cmd = commands.add_parser("latency", help="closed-loop latency")
+    _add_sut_args(lat_cmd)
+    lat_cmd.add_argument("--ir", type=float, default=1.0)
+    lat_cmd.set_defaults(func=_cmd_latency)
+
+    burst_cmd = commands.add_parser("bursts", help="periodic-burst scenario")
+    _add_sut_args(burst_cmd)
+    burst_cmd.add_argument("--bd", type=float, default=3.0, help="burst duration (s)")
+    burst_cmd.add_argument("--tbb", type=float, default=12.0, help="time between bursts (s)")
+    burst_cmd.add_argument("--bursts", type=int, default=3)
+    burst_cmd.set_defaults(func=_cmd_bursts)
+
+    list_cmd = commands.add_parser("list", help="registered components")
+    list_cmd.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

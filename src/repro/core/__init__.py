@@ -1,0 +1,41 @@
+"""The Crayfish benchmarking framework (§3).
+
+Components mirror Figure 1: an input workload producer, the data
+processor (SPS + serving tool, built by :mod:`repro.sps` and
+:mod:`repro.serving`), an output consumer, and a metrics analyzer. The
+:class:`~repro.core.runner.ExperimentRunner` wires them around the
+simulated Kafka broker and executes one configuration.
+
+Exports resolve lazily (PEP 562): engine modules import
+``repro.core.batch`` while ``repro.core.runner`` imports the engine
+registry, so eager re-exports here would create an import cycle.
+"""
+
+import importlib
+
+__all__ = [
+    "CrayfishDataBatch",
+    "LatencyStats",
+    "MetricsCollector",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "run_experiment",
+]
+
+_LAZY = {
+    "CrayfishDataBatch": ("repro.core.batch", "CrayfishDataBatch"),
+    "LatencyStats": ("repro.core.metrics", "LatencyStats"),
+    "MetricsCollector": ("repro.core.metrics", "MetricsCollector"),
+    "ExperimentResult": ("repro.core.runner", "ExperimentResult"),
+    "ExperimentRunner": ("repro.core.runner", "ExperimentRunner"),
+    "run_experiment": ("repro.core.runner", "run_experiment"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}") from None
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

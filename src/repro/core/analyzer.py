@@ -1,0 +1,117 @@
+"""The metrics analyzer component: derived performance statistics.
+
+Implements the paper's derived measures: sustainable throughput (the
+maximum arrival rate the SUT sustains, §4.1) and burst recovery time
+(how long after a burst begins the latency re-stabilizes, §5.1.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.metrics import LatencyStats, percentile
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryReport:
+    """Recovery analysis of one burst."""
+
+    burst_start: float
+    burst_end: float
+    #: Time from burst start until latency re-stabilized; None if the SUT
+    #: never recovered inside the observation window.
+    recovery_time: float | None
+    #: Latency threshold used to declare recovery.
+    threshold: float
+    #: Peak latency observed during/after the burst.
+    peak_latency: float
+
+
+def baseline_latency(
+    series: typing.Sequence[tuple[float, float]],
+    until: float,
+    window: float | None = None,
+) -> float:
+    """p95 latency of samples completing before ``until``.
+
+    ``window`` restricts the baseline to the last ``window`` seconds
+    before ``until`` — essential between bursts, where the full history
+    contains the previous burst's spike.
+    """
+    since = -float("inf") if window is None else until - window
+    sample = sorted(lat for t, lat in series if since <= t < until)
+    if not sample:
+        raise ValueError(f"no samples before t={until} to build a baseline")
+    return percentile(sample, 0.95)
+
+
+def recovery_time(
+    series: typing.Sequence[tuple[float, float]],
+    burst_start: float,
+    burst_end: float,
+    horizon: float,
+    threshold_factor: float = 1.5,
+    dwell: float = 1.0,
+    baseline_window: float | None = None,
+) -> RecoveryReport:
+    """Time until latency stabilizes after a burst.
+
+    Recovery is declared at the first sample time ``t >= burst_start``
+    from which every sample in ``[t, t + dwell]`` stays below
+    ``threshold_factor`` x the pre-burst p95 latency — i.e. latency is
+    back *and stays* back.
+    """
+    if burst_end <= burst_start:
+        raise ValueError("burst_end must be after burst_start")
+    threshold = threshold_factor * baseline_latency(
+        series, burst_start, window=baseline_window
+    )
+    window = [(t, lat) for t, lat in series if burst_start <= t <= horizon]
+    if not window:
+        return RecoveryReport(burst_start, burst_end, None, threshold, 0.0)
+    peak = max(lat for __, lat in window)
+    times = [t for t, __ in window]
+    for i, (t, lat) in enumerate(window):
+        if lat >= threshold:
+            continue
+        # Check the dwell period starting here.
+        ok = True
+        j = i
+        while j < len(window) and window[j][0] <= t + dwell:
+            if window[j][1] >= threshold:
+                ok = False
+                break
+            j += 1
+        if not ok:
+            continue
+        if t + dwell > times[-1] and j >= len(window):
+            # Dwell extends past the data; accept only if this is after
+            # the burst ended (the tail is drained, nothing more coming).
+            if t < burst_end:
+                continue
+        return RecoveryReport(burst_start, burst_end, t - burst_start, threshold, peak)
+    return RecoveryReport(burst_start, burst_end, None, threshold, peak)
+
+
+@dataclasses.dataclass(frozen=True)
+class Aggregate:
+    """Mean/std over replicated runs (the paper reports both, §4.2)."""
+
+    mean: float
+    std: float
+    runs: int
+
+    @classmethod
+    def of(cls, values: typing.Sequence[float]) -> "Aggregate":
+        n = len(values)
+        if n == 0:
+            raise ValueError("no values to aggregate")
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(mean=mean, std=variance**0.5, runs=n)
+
+
+def aggregate_latency(stats: typing.Sequence[LatencyStats]) -> Aggregate:
+    """Aggregate mean latencies across runs."""
+    return Aggregate.of([s.mean for s in stats if s.count])

@@ -1,0 +1,93 @@
+"""ASCII line charts for figure-style benchmark output.
+
+The paper's figures are curves; the benchmarks reproduce their *shapes*,
+so the reports render them as terminal charts — one series per labelled
+line, log-or-linear y axis — alongside the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+Series = typing.Sequence[tuple[float, float]]
+
+
+def _format_value(value: float) -> str:
+    if value >= 1000:
+        return f"{value / 1000:.1f}k"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def render_chart(
+    series: dict[str, Series],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled (x, y) series as an ASCII chart.
+
+    Each series gets a distinct marker; points are plotted on a
+    ``width`` x ``height`` grid with min/max axis annotations.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "ox*+#@%&"
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, __ in points]
+    ys = [y for __, y in points]
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y needs positive values")
+
+    def transform_y(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = transform_y(min(ys)), transform_y(max(ys))
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for x, y in values:
+            col = round((x - x_low) / x_span * (width - 1))
+            row = round((transform_y(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _format_value(max(ys))
+    bottom_label = _format_value(min(ys))
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_axis = (
+        f"{' ' * label_width}  {_format_value(x_low)}"
+        f"{x_label.center(width - 12)}{_format_value(x_high)}"
+    )
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{marker}={name}" for (name, __), marker in zip(series.items(), markers)
+    )
+    lines.append(f"{' ' * label_width}  [{legend}]")
+    return "\n".join(lines)

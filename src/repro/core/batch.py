@@ -1,0 +1,47 @@
+"""The CrayfishDataBatch: the benchmark's unit of computation (§3.1).
+
+A batch carries ``points`` data points of a fixed shape plus the creation
+timestamp used for end-to-end latency. Stream processors treat one batch
+as a single event (producer-level batching, §3.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigError
+from repro.netsim import json_payload
+
+
+@dataclasses.dataclass(frozen=True)
+class CrayfishDataBatch:
+    """One scoring request travelling through the pipeline."""
+
+    #: Monotonically increasing id assigned by the input producer.
+    batch_id: int
+    #: Producer-local creation time — the *start* timestamp (§3.3 step 1).
+    created_at: float
+    #: Number of data points in the batch (``bsz``).
+    points: int
+    #: Shape of one data point (``isz``).
+    point_shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.points < 1:
+            raise ConfigError(f"batch needs >= 1 point, got {self.points}")
+        if not self.point_shape or any(d < 1 for d in self.point_shape):
+            raise ConfigError(f"invalid point shape {self.point_shape}")
+
+    @property
+    def values_per_point(self) -> int:
+        return int(math.prod(self.point_shape))
+
+    @property
+    def input_values(self) -> int:
+        """Total scalar values carried."""
+        return self.points * self.values_per_point
+
+    def input_json_bytes(self) -> float:
+        """Wire size of the batch as Crayfish's JSON encoding."""
+        return json_payload(self.input_values).nbytes

@@ -1,0 +1,51 @@
+"""The output consumer component (§3.1, Fig. 3 steps 5-6).
+
+Reads scored batches from the Kafka output topic and extracts per-batch
+end-to-end latency from the records' LogAppendTime. The experiment runner
+normally collects the same numbers through the sink's completion callback
+(identical timestamps, fewer simulated events); this component exists for
+architectural fidelity and is exercised by the integration tests to prove
+the equivalence.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.broker import BrokerCluster, Consumer
+from repro.core.batch import CrayfishDataBatch
+from repro.core.metrics import Completion
+from repro.simul import Environment
+
+
+class OutputConsumer:
+    """Drains the output topic and logs measurements."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: BrokerCluster,
+        topic: str = "crayfish-output",
+    ) -> None:
+        self.env = env
+        self._consumer = Consumer(env, cluster, topic)
+        self.completions: list[Completion] = []
+
+    def start(self) -> None:
+        self.env.process(self._run())
+
+    def _run(self) -> typing.Generator:
+        while True:
+            records = yield from self._consumer.poll()
+            for record in records:
+                batch: CrayfishDataBatch = record.value
+                self.completions.append(
+                    Completion(
+                        batch_id=batch.batch_id,
+                        created_at=record.timestamp,
+                        end_time=record.log_append_time,
+                    )
+                )
+
+    def latencies(self) -> list[float]:
+        return [c.latency for c in self.completions]

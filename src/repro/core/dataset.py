@@ -1,0 +1,98 @@
+"""Real-dataset inputs for the workload producer (§3.1 option 2).
+
+Crayfish's input producer can either synthesize tensors or read real
+datasets from disk. This module provides the file-backed path: datasets
+are stored as ``.npz`` archives (a ``data`` array of points, an optional
+``labels`` array) and replayed in order, cycling when exhausted — the
+replay order matters for cache behaviour, not for the performance study
+(§4.1 notes content is irrelevant to inference latency).
+
+The simulated pipeline only consumes point *shapes*; applications built
+on :mod:`repro.nn` consume the actual arrays via :meth:`Dataset.batches`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class Dataset:
+    """An in-memory dataset of fixed-shape points."""
+
+    def __init__(self, data: np.ndarray, labels: np.ndarray | None = None) -> None:
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim < 2:
+            raise ConfigError(
+                f"dataset needs (points, *shape) arrays, got {data.shape}"
+            )
+        if labels is not None:
+            labels = np.asarray(labels)
+            if len(labels) != len(data):
+                raise ConfigError(
+                    f"{len(labels)} labels for {len(data)} points"
+                )
+        self.data = data
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def point_shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape[1:])
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def synthetic(
+        cls,
+        points: int,
+        point_shape: typing.Sequence[int],
+        classes: int = 10,
+        seed: int = 0,
+    ) -> "Dataset":
+        """Uniform-random tensors with random labels (the paper's default
+        generator, materialized)."""
+        if points < 1:
+            raise ConfigError(f"points must be >= 1, got {points}")
+        rng = np.random.default_rng(seed)
+        data = rng.random((points, *point_shape), dtype=np.float32)
+        labels = rng.integers(0, classes, size=points)
+        return cls(data, labels)
+
+    @classmethod
+    def load(cls, path: str) -> "Dataset":
+        """Read a ``.npz`` archive with ``data`` (and optional ``labels``)."""
+        with np.load(path) as archive:
+            if "data" not in archive:
+                raise ConfigError(f"{path!r} has no 'data' array")
+            labels = archive["labels"] if "labels" in archive else None
+            return cls(archive["data"], labels)
+
+    def save(self, path: str) -> None:
+        arrays = {"data": self.data}
+        if self.labels is not None:
+            arrays["labels"] = self.labels
+        np.savez_compressed(path, **arrays)
+
+    # -- replay --------------------------------------------------------------
+
+    def batches(self, bsz: int) -> typing.Iterator[np.ndarray]:
+        """Endless batches of ``bsz`` points, cycling through the data."""
+        if bsz < 1:
+            raise ConfigError(f"bsz must be >= 1, got {bsz}")
+        index = 0
+        n = len(self.data)
+        while True:
+            picks = [(index + i) % n for i in range(bsz)]
+            index = (index + bsz) % n
+            yield self.data[picks]
+
+    def take_batches(self, count: int, bsz: int) -> list[np.ndarray]:
+        """The first ``count`` batches, for bounded replay."""
+        iterator = self.batches(bsz)
+        return [next(iterator) for __ in range(count)]

@@ -1,0 +1,57 @@
+"""Pipeline probes: time series of operational state during a run.
+
+The metrics analyzer reports end-to-end outcomes; probes watch the
+pipeline's internals while it runs — broker backlog (consumer lag by
+proxy), completion rates — which is how the burst experiments *show*
+queues building and draining rather than inferring them from latency.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.broker import BrokerCluster
+from repro.simul import Environment
+
+
+class BacklogProbe:
+    """Samples a topic's unconsumed backlog every ``interval`` seconds.
+
+    Backlog here = records appended minus batches completed (reported by
+    the caller through ``completed``), i.e. work somewhere inside the
+    SUT or queued in front of it.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: BrokerCluster,
+        topic: str,
+        completed: typing.Callable[[], int],
+        interval: float = 0.1,
+        horizon: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.cluster = cluster
+        self.topic = topic
+        self.completed = completed
+        self.interval = interval
+        self.horizon = horizon
+        self.samples: list[tuple[float, int]] = []
+
+    def start(self) -> None:
+        self.env.process(self._run())
+
+    def _run(self) -> typing.Generator:
+        while self.horizon is None or self.env.now < self.horizon:
+            yield self.env.timeout(self.interval)
+            backlog = self.cluster.topic(self.topic).total_records() - self.completed()
+            self.samples.append((self.env.now, max(backlog, 0)))
+
+    def peak(self) -> int:
+        return max((backlog for __, backlog in self.samples), default=0)
+
+    def series(self) -> list[tuple[float, float]]:
+        return [(t, float(b)) for t, b in self.samples]

@@ -1,0 +1,47 @@
+"""Plain-text reporting in the shape of the paper's tables and figures.
+
+Benchmarks print a ``paper`` column next to the ``measured`` column so
+EXPERIMENTS.md can be regenerated straight from benchmark output.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rate(events_per_second: float) -> str:
+    """Throughput with the paper's precision (events/s)."""
+    if events_per_second >= 100:
+        return f"{events_per_second:,.0f}"
+    return f"{events_per_second:.2f}"
+
+
+def format_ms(seconds: float) -> str:
+    """Latency in milliseconds."""
+    return f"{seconds * 1e3:.2f}"
+
+
+def ratio_note(measured: float, paper: float) -> str:
+    """How far a measurement is from the paper's absolute value."""
+    if paper <= 0:
+        return "n/a"
+    return f"{measured / paper:.2f}x"

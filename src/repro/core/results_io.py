@@ -1,0 +1,70 @@
+"""Persisting experiment results (the metrics-analyzer output, Fig. 1).
+
+JSON for single results and result sets; CSV for spreadsheet-friendly
+sweep exports. Loading returns plain dictionaries — results are records,
+not live objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import typing
+
+from repro.core.runner import ExperimentResult
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable record of one experiment."""
+    config = dataclasses.asdict(result.config)
+    config["workload"] = result.config.workload.value
+    return {
+        "config": config,
+        "throughput": result.throughput,
+        "latency": dataclasses.asdict(result.latency),
+        "completed": result.completed,
+        "produced": result.produced,
+        "duplicates": result.duplicates,
+        "inference_requests": result.inference_requests,
+        "measure_start": result.measure_start,
+        "measure_end": result.measure_end,
+    }
+
+
+def save_results(results: typing.Sequence[ExperimentResult], path: str) -> None:
+    """Write results (without the full latency series) as JSON."""
+    with open(path, "w") as handle:
+        json.dump([result_to_dict(r) for r in results], handle, indent=2)
+
+
+def load_results(path: str) -> list[dict]:
+    with open(path) as handle:
+        records = json.load(handle)
+    if not isinstance(records, list):
+        raise ValueError(f"{path!r} does not contain a result list")
+    return records
+
+
+def save_results_csv(
+    results: typing.Sequence[ExperimentResult], path: str
+) -> None:
+    """Flat CSV: one row per result, config columns prefixed ``config.``."""
+    if not results:
+        raise ValueError("no results to save")
+    rows = []
+    for result in results:
+        record = result_to_dict(result)
+        row: dict = {}
+        for key, value in record["config"].items():
+            row[f"config.{key}"] = value
+        row["throughput"] = record["throughput"]
+        for key, value in record["latency"].items():
+            row[f"latency.{key}"] = value
+        for key in ("completed", "produced", "duplicates", "inference_requests"):
+            row[key] = record[key]
+        rows.append(row)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)

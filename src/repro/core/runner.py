@@ -1,0 +1,280 @@
+"""The experiment runner: wires components and executes one benchmark.
+
+Assembles, per :class:`~repro.config.ExperimentConfig`: the broker cluster
+with its input/output topics (or the direct gateways of the standalone
+mode), the input producer, the data processor (SPS + serving tool), and
+the metrics collector — then runs the simulation and summarizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro import calibration as cal
+from repro.broker import BrokerCluster
+from repro.config import ExperimentConfig, WorkloadKind
+from repro.core.generator import BatchFactory, ConstantRate, PeriodicBursts, RateSchedule
+from repro.core.metrics import LatencyStats, MetricsCollector
+from repro.core.producer import InputProducerBase, PacedProducer, SaturatingProducer
+from repro.errors import ConfigError
+from repro.nn.zoo import model_info
+from repro.serving import create_serving_tool
+from repro.simul import Environment, RandomStreams
+from repro.sps import create_data_processor
+from repro.sps.gateways import BrokerInput, BrokerOutput, DirectInput, DirectOutput
+
+INPUT_TOPIC = "crayfish-input"
+OUTPUT_TOPIC = "crayfish-output"
+
+#: Backlog kept ahead of the SUT by the saturating producer. Spark drains
+#: up to SPARK_MAX_BATCH_EVENTS per trigger, so it needs deeper backlog.
+_SATURATION_BACKLOG = {"spark_ss": int(cal.SPARK_MAX_BATCH_EVENTS * 1.6)}
+_DEFAULT_BACKLOG = 512
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one run produced."""
+
+    config: ExperimentConfig
+    #: Completed events per second over the measured (post-warmup) window.
+    throughput: float
+    #: Latency statistics over the measured window.
+    latency: LatencyStats
+    #: Batches completed in total (including warm-up).
+    completed: int
+    #: Batches written to the input topic in total.
+    produced: int
+    #: Simulated time when measurement started (end of warm-up).
+    measure_start: float
+    #: Simulated time when the run stopped.
+    measure_end: float
+    #: (end_time, latency) samples over the whole run, for burst analysis.
+    series: tuple[tuple[float, float], ...]
+    #: Batches delivered downstream more than once (failure replays under
+    #: at-least-once; always 0 otherwise).
+    duplicates: int = 0
+    #: Scoring calls the serving tool actually served — exceeds distinct
+    #: completions when failures replay inference requests.
+    inference_requests: int = 0
+    #: (time, unconsumed backlog) samples when a backlog probe was
+    #: requested; empty otherwise.
+    backlog_series: tuple[tuple[float, float], ...] = ()
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+
+class ExperimentRunner:
+    """Builds and executes one experiment configuration."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+
+    # -- assembly ----------------------------------------------------------
+
+    def _schedule(self) -> RateSchedule | None:
+        config = self.config
+        if config.workload is WorkloadKind.PERIODIC_BURSTS:
+            # §4.1: 110% of sustainable throughput in bursts, 70% between.
+            return PeriodicBursts(
+                low_rate=0.7 * config.ir,
+                high_rate=1.1 * config.ir,
+                burst_duration=config.bd,
+                time_between_bursts=config.tbb,
+            )
+        if config.ir is None:
+            return None  # saturating open loop
+        return ConstantRate(config.ir)
+
+    def _point_shape(self) -> tuple[int, ...]:
+        if self.config.isz is not None:
+            return self.config.isz
+        return model_info(self.config.model).input_shape
+
+    def _scoring_parallelism(self) -> int:
+        if self.config.operator_parallelism is not None:
+            return self.config.operator_parallelism[1]
+        return self.config.mp
+
+    def _fault_tolerance(self):
+        """The engine's fault-tolerance plan, when checkpointing is on."""
+        if not self.config.fault_tolerant:
+            return None
+        from repro.sps.flink.fault_tolerance import FaultToleranceConfig
+
+        return FaultToleranceConfig(
+            checkpoint_interval=self.config.checkpoint_interval,
+            guarantee=self.config.delivery_guarantee,
+            failure_times=self.config.failure_times,
+            recovery_time=self.config.recovery_time,
+        )
+
+    def _serving_name(self) -> str:
+        """Ray cannot reach TF-Serving/TorchServe natively: the paper
+        substitutes Ray Serve for any external tool on Ray (Fig. 10/11
+        footnote: "not using TensorFlow Serving, but simulating it using
+        Ray Serve")."""
+        from repro.config import is_embedded
+
+        if self.config.sps == "ray" and not is_embedded(self.config.serving):
+            return "ray_serve"
+        return self.config.serving
+
+    def run(
+        self,
+        seed: int | None = None,
+        backlog_probe_interval: float | None = None,
+    ) -> ExperimentResult:
+        """Execute the experiment; ``seed`` overrides the config seed.
+
+        ``backlog_probe_interval`` additionally samples the input topic's
+        unconsumed backlog at that period (broker mode only).
+        """
+        config = self.config
+        env = Environment()
+        rng = RandomStreams(config.seed if seed is None else seed)
+        # Failure injection can legitimately replay batches to the sink.
+        metrics = MetricsCollector(env, strict=not config.fault_tolerant)
+
+        # Transport: Kafka (default) or direct in-process (Fig. 13).
+        if config.use_broker:
+            cluster = BrokerCluster(env)
+            cluster.create_topic(INPUT_TOPIC, config.partitions)
+            cluster.create_topic(OUTPUT_TOPIC, config.partitions)
+            input_gateway: typing.Any = BrokerInput(env, cluster, INPUT_TOPIC)
+            output_gateway: typing.Any = BrokerOutput(env, cluster, OUTPUT_TOPIC)
+            producer_kwargs = {"cluster": cluster, "topic": INPUT_TOPIC}
+        else:
+            input_gateway = DirectInput(env)
+            output_gateway = DirectOutput(env)
+            producer_kwargs = {"direct": input_gateway}
+
+        tool = create_serving_tool(
+            self._serving_name(),
+            env,
+            config.model,
+            mp=self._scoring_parallelism(),
+            gpu=config.gpu,
+            rng=rng,
+            server_workers=config.server_workers,
+            # Ray substitutes Ray Serve (HTTP-only) for external tools,
+            # so a grpc/rest preference does not apply there.
+            protocol=(
+                config.protocol
+                if self._serving_name() == config.serving
+                else None
+            ),
+        )
+        if config.adaptive_batching is not None:
+            from repro.serving.external.batching import (
+                BatchingPolicy,
+                install_adaptive_batching,
+            )
+
+            size, delay = config.adaptive_batching
+            install_adaptive_batching(
+                tool, BatchingPolicy(max_size=size, max_delay=delay)
+            )
+        if config.autoscale is not None:
+            from repro.serving.external.autoscaler import (
+                AutoscalePolicy,
+                Autoscaler,
+            )
+
+            low, high = config.autoscale
+            Autoscaler(
+                env,
+                tool,
+                AutoscalePolicy(min_workers=low, max_workers=high),
+                horizon=config.duration,
+            )
+        engine = create_data_processor(
+            config.sps,
+            env,
+            tool,
+            input_gateway,
+            output_gateway,
+            mp=config.mp,
+            on_complete=metrics.on_complete,
+            output_values_per_point=model_info(config.model).output_values,
+            operator_parallelism=config.operator_parallelism,
+            async_io=config.async_io,
+            scoring_window=config.scoring_window,
+            fault_tolerance=self._fault_tolerance(),
+        )
+
+        factory = BatchFactory(config.bsz, self._point_shape())
+        producer = self._build_producer(env, factory, metrics, **producer_kwargs)
+
+        probe = None
+        if backlog_probe_interval is not None and config.use_broker:
+            from repro.core.probe import BacklogProbe
+
+            probe = BacklogProbe(
+                env,
+                cluster,
+                INPUT_TOPIC,
+                completed=lambda: metrics.count,
+                interval=backlog_probe_interval,
+                horizon=config.duration,
+            )
+            probe.start()
+
+        engine.start()
+        producer.start()
+        env.run(until=config.duration)
+
+        cutoff = config.duration * config.warmup_fraction
+        return ExperimentResult(
+            config=config,
+            throughput=metrics.throughput(cutoff, config.duration),
+            latency=metrics.latency_stats(cutoff),
+            completed=metrics.count,
+            produced=producer.batches_produced,
+            measure_start=cutoff,
+            measure_end=config.duration,
+            series=tuple(metrics.latency_series()),
+            duplicates=metrics.duplicates,
+            inference_requests=tool.requests_served,
+            backlog_series=tuple(probe.series()) if probe is not None else (),
+        )
+
+    def _build_producer(
+        self,
+        env: Environment,
+        factory: BatchFactory,
+        metrics: MetricsCollector,
+        **producer_kwargs: typing.Any,
+    ) -> InputProducerBase:
+        schedule = self._schedule()
+        if schedule is None:
+            backlog = _SATURATION_BACKLOG.get(
+                self.config.sps, _DEFAULT_BACKLOG
+            )
+            return SaturatingProducer(
+                env,
+                factory,
+                completed=lambda: metrics.count,
+                backlog_target=backlog,
+                **producer_kwargs,
+            )
+        return PacedProducer(env, factory, schedule=schedule, **producer_kwargs)
+
+
+def run_experiment(config: ExperimentConfig, seed: int | None = None) -> ExperimentResult:
+    """Convenience wrapper: build a runner and execute once."""
+    return ExperimentRunner(config).run(seed=seed)
+
+
+def run_replicated(
+    config: ExperimentConfig, seeds: typing.Sequence[int] = (0, 1)
+) -> list[ExperimentResult]:
+    """The paper's protocol: run each experiment twice and report
+    averages and standard deviations (§4.2)."""
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    runner = ExperimentRunner(config)
+    return [runner.run(seed=seed) for seed in seeds]

@@ -1,0 +1,55 @@
+"""Parameter sweeps: run grids of configurations with replication."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.config import ExperimentConfig
+from repro.core.analyzer import Aggregate
+from repro.core.runner import ExperimentResult, ExperimentRunner
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's aggregated outcome."""
+
+    overrides: dict
+    results: tuple[ExperimentResult, ...]
+
+    @property
+    def throughput(self) -> Aggregate:
+        return Aggregate.of([r.throughput for r in self.results])
+
+    @property
+    def mean_latency(self) -> Aggregate:
+        return Aggregate.of([r.latency.mean for r in self.results])
+
+
+def sweep(
+    base: ExperimentConfig,
+    grid: dict[str, typing.Sequence],
+    seeds: typing.Sequence[int] = (0, 1),
+    hook: typing.Callable[[dict, typing.Sequence[ExperimentResult]], None] | None = None,
+) -> list[SweepPoint]:
+    """Run the cartesian product of ``grid`` over ``base``.
+
+    ``grid`` maps ExperimentConfig field names to value lists. Each point
+    is replicated over ``seeds`` (the paper runs everything twice).
+    ``hook`` is called after each point, e.g. for progress printing.
+    """
+    if not grid:
+        raise ValueError("empty sweep grid")
+    points = []
+    keys = sorted(grid)
+    for values in itertools.product(*(grid[k] for k in keys)):
+        overrides = dict(zip(keys, values))
+        config = base.replace(**overrides)
+        runner = ExperimentRunner(config)
+        results = tuple(runner.run(seed=seed) for seed in seeds)
+        point = SweepPoint(overrides=overrides, results=results)
+        points.append(point)
+        if hook is not None:
+            hook(overrides, results)
+    return points

@@ -1,0 +1,99 @@
+"""Pre-flight deployment checks (§3.5 / §4.3).
+
+Before measuring, the paper verifies that the Kafka cluster itself can
+sustain the experiment's maximum arrival rate (a no-op "inference" run)
+so broker limits never masquerade as SUT limits. This module reproduces
+that check: a paced producer against the simulated cluster with a
+trivial drain, reporting achieved rate and broker utilization headroom.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro import calibration as cal
+from repro.broker import BrokerCluster, Consumer, Producer
+from repro.core.batch import CrayfishDataBatch
+from repro.core.generator import BatchFactory, ConstantRate
+from repro.core.producer import PacedProducer
+from repro.errors import ConfigError
+from repro.simul import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class BrokerHeadroomReport:
+    """Outcome of the no-op broker check."""
+
+    target_rate: float
+    achieved_rate: float
+    consumed_rate: float
+    #: Fraction of one broker's service time used per second (mean).
+    broker_utilization: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the cluster keeps up with the target rate with
+        comfortable service headroom (the paper's acceptance bar)."""
+        return (
+            self.achieved_rate >= 0.95 * self.target_rate
+            and self.consumed_rate >= 0.95 * self.target_rate
+            and self.broker_utilization < 0.7
+        )
+
+
+def verify_broker_headroom(
+    target_rate: float,
+    bsz: int = 1,
+    point_shape: typing.Sequence[int] = (28, 28),
+    partitions: int = 32,
+    duration: float = 2.0,
+) -> BrokerHeadroomReport:
+    """Run the no-op pipeline: produce at ``target_rate``, drain, report.
+
+    The "inference" is a no-op — records are consumed and dropped — so
+    any shortfall is the broker's, not a SUT's.
+    """
+    if target_rate <= 0:
+        raise ConfigError(f"target_rate must be positive, got {target_rate}")
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic("headroom-check", partitions)
+    factory = BatchFactory(bsz, tuple(point_shape))
+    producer = PacedProducer(
+        env,
+        factory,
+        cluster=cluster,
+        topic="headroom-check",
+        schedule=ConstantRate(target_rate),
+    )
+    consumer = Consumer(env, cluster, "headroom-check")
+    consumed = {"count": 0}
+
+    def drain() -> typing.Generator:
+        while True:
+            records = yield from consumer.poll()
+            consumed["count"] += len(records)
+
+    producer.start()
+    env.process(drain())
+    env.run(until=duration)
+
+    # Broker utilization estimate: per-record append service over the
+    # cluster's aggregate capacity.
+    batch = CrayfishDataBatch(
+        batch_id=0, created_at=0.0, points=bsz, point_shape=tuple(point_shape)
+    )
+    per_record_service = (
+        cal.BROKER_APPEND_OVERHEAD
+        + batch.input_json_bytes() / cal.BROKER_IO_BANDWIDTH
+    )
+    utilization = (
+        producer.batches_produced / duration * per_record_service
+    ) / cluster.broker_count
+    return BrokerHeadroomReport(
+        target_rate=target_rate,
+        achieved_rate=producer.batches_produced / duration,
+        consumed_rate=consumed["count"] / duration,
+        broker_utilization=utilization,
+    )

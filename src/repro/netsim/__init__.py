@@ -1,0 +1,15 @@
+"""Network and serialization cost models for the simulated cluster."""
+
+from repro.netsim.payload import Payload, json_payload, binary_payload
+from repro.netsim.link import Link
+from repro.netsim.protocols import GrpcChannel, HttpChannel, RpcChannel
+
+__all__ = [
+    "Payload",
+    "json_payload",
+    "binary_payload",
+    "Link",
+    "GrpcChannel",
+    "HttpChannel",
+    "RpcChannel",
+]

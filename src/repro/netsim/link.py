@@ -1,0 +1,40 @@
+"""Point-to-point LAN link model.
+
+Transfer time = one-way base latency + size / effective bandwidth,
+calibrated against the paper's ping measurements (§4.2): 0.945 ms round
+trip for a 3 KB payload and 1.565 ms for 64 KB on a 1 Gbps LAN.
+"""
+
+from __future__ import annotations
+
+from repro import calibration as cal
+
+
+class Link:
+    """A LAN hop between two hosts in the simulated cluster."""
+
+    def __init__(
+        self,
+        base_latency: float = cal.NET_BASE_LATENCY,
+        bandwidth: float = cal.NET_BANDWIDTH,
+    ) -> None:
+        if base_latency < 0:
+            raise ValueError("base latency must be non-negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.base_latency = base_latency
+        self.bandwidth = bandwidth
+
+    def transfer_time(self, nbytes: float) -> float:
+        """One-way delivery time for a payload of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.base_latency + nbytes / self.bandwidth
+
+    def rtt(self, request_bytes: float, response_bytes: float = 64.0) -> float:
+        """Round-trip time for a request/response pair."""
+        return self.transfer_time(request_bytes) + self.transfer_time(response_bytes)
+
+
+#: The cluster LAN (all paper hosts share one GCP network).
+LAN = Link()

@@ -1,0 +1,79 @@
+"""RPC channel models (gRPC and HTTP) between SPS and external servers.
+
+A channel charges the *client* for request encoding and response decoding,
+the *network* for two transfers, and leaves server-side handling to the
+server model. The paper uses gRPC for TF-Serving and TorchServe and HTTP
+(JSON) for Ray Serve (§3.4.3-§3.4.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.netsim.link import Link
+from repro.netsim.payload import Payload, binary_payload, json_payload
+
+
+@dataclasses.dataclass(frozen=True)
+class RpcCosts:
+    """Cost breakdown of one round trip, excluding server-side service."""
+
+    client_cpu: float
+    request_transfer: float
+    response_transfer: float
+
+    @property
+    def total(self) -> float:
+        return self.client_cpu + self.request_transfer + self.response_transfer
+
+
+class RpcChannel:
+    """Base RPC channel; subclasses choose the payload encoding."""
+
+    #: Extra fixed client-side cost per call (stub dispatch, headers).
+    call_overhead = 0.0
+
+    def __init__(self, link: Link | None = None) -> None:
+        self.link = link if link is not None else Link()
+
+    def _encode(self, values: int) -> Payload:
+        raise NotImplementedError
+
+    def round_trip_costs(self, request_values: int, response_values: int) -> RpcCosts:
+        """Transport costs of a call carrying the given tensor sizes."""
+        request = self._encode(request_values)
+        response = self._encode(response_values)
+        client_cpu = (
+            self.call_overhead + request.encode_cost + response.decode_cost
+        )
+        return RpcCosts(
+            client_cpu=client_cpu,
+            request_transfer=self.link.transfer_time(request.nbytes),
+            response_transfer=self.link.transfer_time(response.nbytes),
+        )
+
+    def server_decode_cost(self, request_values: int) -> float:
+        """Server-side CPU to decode the incoming request."""
+        return self._encode(request_values).decode_cost
+
+    def server_encode_cost(self, response_values: int) -> float:
+        """Server-side CPU to encode the outgoing response."""
+        return self._encode(response_values).encode_cost
+
+
+class GrpcChannel(RpcChannel):
+    """gRPC with binary tensor payloads (TF-Serving, TorchServe)."""
+
+    call_overhead = 0.00005  # 0.05 ms stub/header cost
+
+    def _encode(self, values: int) -> Payload:
+        return binary_payload(values)
+
+
+class HttpChannel(RpcChannel):
+    """HTTP/1.1 with JSON payloads (Ray Serve)."""
+
+    call_overhead = 0.00020  # 0.2 ms connection/header cost
+
+    def _encode(self, values: int) -> Payload:
+        return json_payload(values)

@@ -1,0 +1,46 @@
+"""A small, real neural-network inference library on NumPy.
+
+This package provides the "pre-trained models" of the study: genuine
+FFNN and ResNet-50 architectures whose parameter counts, FLOPs, and
+serialized sizes are real (Table 2), and whose ``forward`` actually
+computes. Layers are constructed with explicit shapes; weights are
+materialized lazily so cost models can query FLOPs/params without
+allocating hundreds of megabytes.
+"""
+
+from repro.nn.layers import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Gru,
+    Layer,
+    MaxPool2d,
+    ReLU,
+    Residual,
+    Sigmoid,
+    Softmax,
+)
+from repro.nn.model import Model, Sequential
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "Softmax",
+    "Sigmoid",
+    "Gru",
+    "Flatten",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Add",
+    "Residual",
+    "Model",
+    "Sequential",
+]

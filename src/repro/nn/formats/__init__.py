@@ -1,0 +1,33 @@
+"""Model serialization formats (the paper's Table 2 artifacts).
+
+Four formats with genuinely different envelopes, mirroring the tools under
+study:
+
+- :mod:`onnx_fmt` -- compact single-file graph + raw tensors (ONNX).
+- :mod:`torch_fmt` -- single file with per-tensor storage records (PyTorch).
+- :mod:`h5` -- hierarchical groups with per-dataset headers (Keras H5,
+  the artifact DL4J imports).
+- :mod:`saved_model` -- a directory with a verbose graph program and a
+  separate variables file (TensorFlow SavedModel).
+
+Every format round-trips: ``load(save(model))`` reconstructs an equivalent
+model with identical weights. Sizes on disk reproduce Table 2's ordering
+(ONNX < Torch < H5 << SavedModel for the small model; all within a few
+percent of raw weights for the large one).
+"""
+
+from repro.nn.formats.registry import (
+    FORMATS,
+    format_for_tool,
+    load_model,
+    save_model,
+    serialized_size,
+)
+
+__all__ = [
+    "FORMATS",
+    "format_for_tool",
+    "load_model",
+    "save_model",
+    "serialized_size",
+]

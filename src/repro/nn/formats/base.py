@@ -1,0 +1,122 @@
+"""Shared binary plumbing for the model formats."""
+
+from __future__ import annotations
+
+import json
+import struct
+import typing
+
+import numpy as np
+
+from repro.errors import ModelFormatError
+from repro.nn.model import Sequential
+
+
+def pack_json(obj: object) -> bytes:
+    """Length-prefixed compact JSON block."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return struct.pack("<I", len(body)) + body
+
+
+def unpack_json(buffer: bytes, offset: int) -> tuple[object, int]:
+    """Read a :func:`pack_json` block; returns (object, next offset)."""
+    if offset + 4 > len(buffer):
+        raise ModelFormatError("truncated JSON block header")
+    (length,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    if offset + length > len(buffer):
+        raise ModelFormatError("truncated JSON block body")
+    try:
+        obj = json.loads(buffer[offset : offset + length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ModelFormatError(f"corrupt JSON block: {error}") from error
+    return obj, offset + length
+
+
+def pack_tensor(name: str, array: np.ndarray, extra_header: bytes = b"") -> bytes:
+    """One tensor record: name, shape, optional format-specific header,
+    raw little-endian float32 data."""
+    array = np.ascontiguousarray(array, dtype="<f4")
+    header = pack_json({"name": name, "shape": list(array.shape)})
+    data = array.tobytes()
+    return (
+        header
+        + struct.pack("<I", len(extra_header))
+        + extra_header
+        + struct.pack("<Q", len(data))
+        + data
+    )
+
+
+def unpack_tensor(buffer: bytes, offset: int) -> tuple[str, np.ndarray, int]:
+    """Read one :func:`pack_tensor` record; returns (name, array, next)."""
+    meta, offset = unpack_json(buffer, offset)
+    if not isinstance(meta, dict) or "name" not in meta or "shape" not in meta:
+        raise ModelFormatError(f"bad tensor header: {meta!r}")
+    if offset + 4 > len(buffer):
+        raise ModelFormatError("truncated tensor extra-header length")
+    (extra_len,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4 + extra_len  # format-specific header is opaque on read
+    if offset + 8 > len(buffer):
+        raise ModelFormatError("truncated tensor data length")
+    (data_len,) = struct.unpack_from("<Q", buffer, offset)
+    offset += 8
+    if offset + data_len > len(buffer):
+        raise ModelFormatError(f"truncated tensor data for {meta['name']!r}")
+    shape = tuple(int(d) for d in meta["shape"])
+    count = int(np.prod(shape)) if shape else 1
+    if data_len != count * 4:
+        raise ModelFormatError(
+            f"tensor {meta['name']!r}: {data_len} bytes != shape {shape}"
+        )
+    array = np.frombuffer(
+        buffer, dtype="<f4", count=count, offset=offset
+    ).reshape(shape)
+    return str(meta["name"]), array.copy(), offset + data_len
+
+
+def check_magic(buffer: bytes, magic: bytes, format_name: str) -> int:
+    """Validate the leading magic bytes; returns the offset after them."""
+    if not buffer.startswith(magic):
+        raise ModelFormatError(
+            f"not a {format_name} artifact (bad magic {buffer[:8]!r})"
+        )
+    return len(magic)
+
+
+class ModelFormat:
+    """Interface every model format implements."""
+
+    #: Short name used in registries and file extensions.
+    name: str = ""
+    #: True when artifacts are directories rather than single files.
+    is_directory: bool = False
+
+    def save(self, model: Sequential, path: str) -> None:
+        raise NotImplementedError
+
+    def load(self, path: str) -> Sequential:
+        raise NotImplementedError
+
+    def dumps(self, model: Sequential) -> bytes:
+        """Single-file formats: serialize to bytes."""
+        raise NotImplementedError
+
+    def loads(self, data: bytes) -> Sequential:
+        raise NotImplementedError
+
+
+def read_file(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def write_file(path: str, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def rebuild(architecture: typing.Sequence[dict], name: str, weights: dict) -> Sequential:
+    model = Sequential.from_architecture(architecture, name=name)
+    model.set_weights(weights)
+    return model

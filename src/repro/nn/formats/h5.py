@@ -1,0 +1,87 @@
+"""Keras-H5-like format: hierarchical groups with per-dataset headers.
+
+HDF5 files carry a superblock, B-tree/group metadata, and per-dataset
+object headers with chunking information; Keras additionally stores the
+full model config and training metadata as root attributes. That envelope
+is why the FFNN's H5 artifact (133 KB) is noticeably bigger than ONNX's
+(113 KB) in Table 2 while the raw weights are identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.nn.formats import base
+from repro.nn.model import Sequential
+
+MAGIC = b"\x89HDFREPRO\r\n\x1a\n"
+
+#: HDF5 superblock, root group B-tree, and local heap (HDF5 pre-allocates
+#: sizeable metadata blocks even for small files).
+_SUPERBLOCK_BYTES = 16384
+#: Per-dataset object header (chunk B-tree, fill value, filters, attrs).
+_DATASET_HEADER_BYTES = 1024
+
+
+def _dataset_header(name: str, array: np.ndarray) -> bytes:
+    """A realistic per-dataset object header of ~280 bytes."""
+    meta = {
+        "path": f"/model_weights/{name.replace('.', '/')}",
+        "class": "H5D_CHUNKED",
+        "chunk": list(array.shape) or [1],
+        "fill_value": 0.0,
+        "filters": [],
+        "attrs": {"backend": "tensorflow", "keras_version": "2.13.0"},
+    }
+    body = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    return body.ljust(_DATASET_HEADER_BYTES, b"\x00")
+
+
+class H5Format(base.ModelFormat):
+    """Keras H5: the artifact DL4J's Keras import consumes (§3.4.2)."""
+
+    name = "h5"
+
+    def dumps(self, model: Sequential) -> bytes:
+        keras_config = {
+            "class_name": "Sequential",
+            "config": {"name": model.name, "layers": model.architecture()},
+            "keras_version": "2.13.0",
+            "backend": "tensorflow",
+            "training_config": {
+                "loss": "categorical_crossentropy",
+                "metrics": ["accuracy"],
+                "optimizer_config": {
+                    "class_name": "Adam",
+                    "config": {"learning_rate": 0.001},
+                },
+            },
+        }
+        root_attrs = base.pack_json(keras_config)
+        superblock = root_attrs.ljust(
+            max(_SUPERBLOCK_BYTES, len(root_attrs)), b"\x00"
+        )
+        blobs = [
+            base.pack_tensor(name, array, extra_header=_dataset_header(name, array))
+            for name, array in sorted(model.get_weights().items())
+        ]
+        return MAGIC + superblock + b"".join(blobs)
+
+    def loads(self, data: bytes) -> Sequential:
+        offset = base.check_magic(data, MAGIC, "H5")
+        config, end = base.unpack_json(data, offset)
+        offset += max(_SUPERBLOCK_BYTES, end - offset)
+        weights = {}
+        while offset < len(data):
+            name, array, offset = base.unpack_tensor(data, offset)
+            weights[name] = array
+        inner = config["config"]
+        return base.rebuild(inner["layers"], inner.get("name", "model"), weights)
+
+    def save(self, model: Sequential, path: str) -> None:
+        base.write_file(path, self.dumps(model))
+
+    def load(self, path: str) -> Sequential:
+        return self.loads(base.read_file(path))

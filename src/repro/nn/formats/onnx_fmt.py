@@ -1,0 +1,45 @@
+"""ONNX-like format: one compact file, graph header + raw initializers."""
+
+from __future__ import annotations
+
+from repro.nn.formats import base
+from repro.nn.model import Sequential
+
+MAGIC = b"ONNXREPRO\x01"
+
+
+class OnnxFormat(base.ModelFormat):
+    """Single-file graph with minimal per-tensor overhead (Table 2: the
+    smallest artifact for both models)."""
+
+    name = "onnx"
+
+    def dumps(self, model: Sequential) -> bytes:
+        header = base.pack_json(
+            {
+                "ir_version": 8,
+                "producer": "repro",
+                "name": model.name,
+                "graph": model.architecture(),
+            }
+        )
+        blobs = [
+            base.pack_tensor(name, array)
+            for name, array in sorted(model.get_weights().items())
+        ]
+        return MAGIC + header + b"".join(blobs)
+
+    def loads(self, data: bytes) -> Sequential:
+        offset = base.check_magic(data, MAGIC, "ONNX")
+        header, offset = base.unpack_json(data, offset)
+        weights = {}
+        while offset < len(data):
+            name, array, offset = base.unpack_tensor(data, offset)
+            weights[name] = array
+        return base.rebuild(header["graph"], header.get("name", "model"), weights)
+
+    def save(self, model: Sequential, path: str) -> None:
+        base.write_file(path, self.dumps(model))
+
+    def load(self, path: str) -> Sequential:
+        return self.loads(base.read_file(path))

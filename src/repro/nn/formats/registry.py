@@ -1,0 +1,69 @@
+"""Format registry plus save/load/size convenience functions."""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ModelFormatError
+from repro.nn.formats.base import ModelFormat
+from repro.nn.formats.h5 import H5Format
+from repro.nn.formats.onnx_fmt import OnnxFormat
+from repro.nn.formats.saved_model import SavedModelFormat
+from repro.nn.formats.torch_fmt import TorchFormat
+from repro.nn.model import Sequential
+
+FORMATS: dict[str, ModelFormat] = {
+    fmt.name: fmt
+    for fmt in (OnnxFormat(), TorchFormat(), H5Format(), SavedModelFormat())
+}
+
+#: Which artifact each serving tool consumes (§3.4.2-§3.4.3): DL4J imports
+#: Keras H5; TF-Serving and the SavedModel library use SavedModel;
+#: TorchServe uses native Torch; ONNX Runtime uses ONNX. Ray applies the
+#: model natively (no artifact conversion) — mapped to Torch for storage.
+TOOL_FORMATS = {
+    "onnx": "onnx",
+    "dl4j": "h5",
+    "savedmodel": "savedmodel",
+    "tf_serving": "savedmodel",
+    "torchserve": "torch",
+    "ray_serve": "torch",
+}
+
+
+def get_format(name: str) -> ModelFormat:
+    try:
+        return FORMATS[name]
+    except KeyError:
+        raise ModelFormatError(
+            f"unknown format {name!r}; have {sorted(FORMATS)}"
+        ) from None
+
+
+def format_for_tool(tool: str) -> ModelFormat:
+    """The model format the named serving tool loads."""
+    try:
+        return get_format(TOOL_FORMATS[tool])
+    except KeyError:
+        raise ModelFormatError(f"no format mapping for tool {tool!r}") from None
+
+
+def save_model(model: Sequential, path: str, format_name: str) -> None:
+    get_format(format_name).save(model, path)
+
+
+def load_model(path: str, format_name: str) -> Sequential:
+    return get_format(format_name).load(path)
+
+
+def serialized_size(model: Sequential, format_name: str, workdir: str) -> int:
+    """On-disk artifact size in bytes (Table 2's Model Size rows)."""
+    fmt = get_format(format_name)
+    path = os.path.join(workdir, f"{model.name}.{format_name}")
+    fmt.save(model, path)
+    if fmt.is_directory:
+        total = 0
+        for root, __, files in os.walk(path):
+            total += sum(os.path.getsize(os.path.join(root, f)) for f in files)
+        return total
+    return os.path.getsize(path)

@@ -1,0 +1,64 @@
+"""PyTorch-like format: per-tensor storage records with stride metadata."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.nn.formats import base
+from repro.nn.model import Sequential
+
+MAGIC = b"TORCHREPRO\x01"
+
+
+def _storage_header(name: str, array: np.ndarray) -> bytes:
+    """PyTorch persists per-tensor storage descriptors (device, strides,
+    requires_grad, storage key); modelled as a small JSON header."""
+    descriptor = {
+        "storage": f"storage/{name}",
+        "dtype": "float32",
+        "device": "cpu",
+        "strides": [int(s // array.itemsize) for s in np.ascontiguousarray(array).strides],
+        "requires_grad": False,
+    }
+    return json.dumps(descriptor, separators=(",", ":")).encode("utf-8")
+
+
+class TorchFormat(base.ModelFormat):
+    """Single file, slightly larger than ONNX due to storage descriptors
+    (Table 2: 115 KB vs 113 KB for the FFNN)."""
+
+    name = "torch"
+
+    def dumps(self, model: Sequential) -> bytes:
+        header = base.pack_json(
+            {
+                "format": "torch.repro",
+                "protocol": 2,
+                "name": model.name,
+                "architecture": model.architecture(),
+            }
+        )
+        blobs = [
+            base.pack_tensor(name, array, extra_header=_storage_header(name, array))
+            for name, array in sorted(model.get_weights().items())
+        ]
+        return MAGIC + header + b"".join(blobs)
+
+    def loads(self, data: bytes) -> Sequential:
+        offset = base.check_magic(data, MAGIC, "Torch")
+        header, offset = base.unpack_json(data, offset)
+        weights = {}
+        while offset < len(data):
+            name, array, offset = base.unpack_tensor(data, offset)
+            weights[name] = array
+        return base.rebuild(
+            header["architecture"], header.get("name", "model"), weights
+        )
+
+    def save(self, model: Sequential, path: str) -> None:
+        base.write_file(path, self.dumps(model))
+
+    def load(self, path: str) -> Sequential:
+        return self.loads(base.read_file(path))

@@ -1,0 +1,753 @@
+"""Layers: shape algebra, parameter/FLOP accounting, NumPy forward passes.
+
+Shapes are per-point (no batch dimension); ``forward`` operates on arrays
+with a leading batch axis. Convolutions use NCHW layout. FLOPs follow the
+usual convention of 2 ops (multiply + add) per MAC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+Shape = tuple[int, ...]
+
+
+def _check_positive_shape(shape: Shape, who: str) -> None:
+    if not shape or any(int(d) < 1 for d in shape):
+        raise ShapeError(f"{who}: invalid shape {shape}")
+
+
+class Layer:
+    """Base layer: knows its shapes and costs before weights exist."""
+
+    def __init__(self, input_shape: Shape) -> None:
+        _check_positive_shape(tuple(input_shape), type(self).__name__)
+        self.input_shape: Shape = tuple(int(d) for d in input_shape)
+        self._params: dict[str, np.ndarray] = {}
+        self._initialized = False
+
+    # -- static accounting --------------------------------------------
+
+    @property
+    def output_shape(self) -> Shape:
+        raise NotImplementedError
+
+    def param_shapes(self) -> dict[str, Shape]:
+        """Name -> shape of every trainable parameter tensor."""
+        return {}
+
+    @property
+    def param_count(self) -> int:
+        return sum(int(np.prod(s)) for s in self.param_shapes().values())
+
+    @property
+    def flops_per_point(self) -> float:
+        """Floating-point operations to process one data point."""
+        return 0.0
+
+    def config(self) -> dict:
+        """JSON-serializable constructor arguments (for model formats)."""
+        return {"input_shape": list(self.input_shape)}
+
+    # -- weights --------------------------------------------------------
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        """Materialize weights (He-style init; these stand in for the
+        paper's pre-trained weights, whose values are irrelevant to the
+        performance study)."""
+        self._params = {
+            name: rng.standard_normal(shape, dtype=np.float32)
+            * np.float32(np.sqrt(2.0 / max(int(np.prod(shape[1:])) or 1, 1)))
+            for name, shape in self.param_shapes().items()
+        }
+        self._initialized = True
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def get_params(self) -> dict[str, np.ndarray]:
+        self._require_init()
+        return dict(self._params)
+
+    def set_params(self, params: dict[str, np.ndarray]) -> None:
+        expected = self.param_shapes()
+        if set(params) != set(expected):
+            raise ShapeError(
+                f"{type(self).__name__}: parameter names {sorted(params)} "
+                f"!= expected {sorted(expected)}"
+            )
+        for name, array in params.items():
+            if tuple(array.shape) != tuple(expected[name]):
+                raise ShapeError(
+                    f"{type(self).__name__}.{name}: shape {array.shape} "
+                    f"!= expected {expected[name]}"
+                )
+        self._params = {k: np.asarray(v, dtype=np.float32) for k, v in params.items()}
+        self._initialized = True
+
+    def _require_init(self) -> None:
+        if not self._initialized and self.param_shapes():
+            raise ShapeError(
+                f"{type(self).__name__} has no weights; call initialize()"
+            )
+
+    # -- compute ----------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise ShapeError(
+                f"{type(self).__name__}: input {x.shape[1:]} != "
+                f"expected {self.input_shape}"
+            )
+        return x
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, input_shape: Shape, units: int) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 1:
+            raise ShapeError(f"Dense expects a flat input, got {self.input_shape}")
+        if units < 1:
+            raise ShapeError(f"Dense units must be >= 1, got {units}")
+        self.units = int(units)
+
+    @property
+    def output_shape(self) -> Shape:
+        return (self.units,)
+
+    def param_shapes(self) -> dict[str, Shape]:
+        return {"weight": (self.input_shape[0], self.units), "bias": (self.units,)}
+
+    @property
+    def flops_per_point(self) -> float:
+        return 2.0 * self.input_shape[0] * self.units
+
+    def config(self) -> dict:
+        return {**super().config(), "units": self.units}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        self._require_init()
+        return x @ self._params["weight"] + self._params["bias"]
+
+
+class Conv2d(Layer):
+    """2-D convolution over NCHW input, implemented with im2col."""
+
+    def __init__(
+        self,
+        input_shape: Shape,
+        filters: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 3:
+            raise ShapeError(f"Conv2d expects (C, H, W), got {self.input_shape}")
+        if filters < 1 or kernel_size < 1 or stride < 1 or padding < 0:
+            raise ShapeError("Conv2d: invalid hyper-parameters")
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        c, h, w = self.input_shape
+        out_h = (h + 2 * padding - kernel_size) // stride + 1
+        out_w = (w + 2 * padding - kernel_size) // stride + 1
+        if out_h < 1 or out_w < 1:
+            raise ShapeError(
+                f"Conv2d: kernel {kernel_size} does not fit input {self.input_shape}"
+            )
+        self._out_shape = (self.filters, out_h, out_w)
+
+    @property
+    def output_shape(self) -> Shape:
+        return self._out_shape
+
+    def param_shapes(self) -> dict[str, Shape]:
+        c = self.input_shape[0]
+        return {
+            "weight": (self.filters, c, self.kernel_size, self.kernel_size),
+            "bias": (self.filters,),
+        }
+
+    @property
+    def flops_per_point(self) -> float:
+        c = self.input_shape[0]
+        __, out_h, out_w = self._out_shape
+        macs = out_h * out_w * self.filters * c * self.kernel_size**2
+        return 2.0 * macs
+
+    def config(self) -> dict:
+        return {
+            **super().config(),
+            "filters": self.filters,
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+        }
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        self._require_init()
+        n = x.shape[0]
+        k, s, p = self.kernel_size, self.stride, self.padding
+        c, __, __ = self.input_shape
+        __, out_h, out_w = self._out_shape
+        if p:
+            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        # im2col via stride tricks: (n, c, k, k, out_h, out_w)
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2],
+            x.strides[3],
+            x.strides[2] * s,
+            x.strides[3] * s,
+        )
+        windows = np.lib.stride_tricks.as_strided(
+            x, shape=(n, c, k, k, out_h, out_w), strides=strides, writeable=False
+        )
+        cols = windows.reshape(n, c * k * k, out_h * out_w)
+        weight = self._params["weight"].reshape(self.filters, c * k * k)
+        out = np.einsum("fp,npq->nfq", weight, cols, optimize=True)
+        out += self._params["bias"][None, :, None]
+        return out.reshape(n, self.filters, out_h, out_w)
+
+
+class DepthwiseConv2d(Layer):
+    """Depthwise 2-D convolution: one kernel per input channel (the
+    building block of MobileNet-style separable convolutions)."""
+
+    def __init__(
+        self,
+        input_shape: Shape,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 3:
+            raise ShapeError(f"DepthwiseConv2d expects (C, H, W), got {self.input_shape}")
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ShapeError("DepthwiseConv2d: invalid hyper-parameters")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        c, h, w = self.input_shape
+        out_h = (h + 2 * padding - kernel_size) // stride + 1
+        out_w = (w + 2 * padding - kernel_size) // stride + 1
+        if out_h < 1 or out_w < 1:
+            raise ShapeError(
+                f"DepthwiseConv2d: kernel {kernel_size} does not fit "
+                f"{self.input_shape}"
+            )
+        self._out_shape = (c, out_h, out_w)
+
+    @property
+    def output_shape(self) -> Shape:
+        return self._out_shape
+
+    def param_shapes(self) -> dict[str, Shape]:
+        c = self.input_shape[0]
+        return {
+            "weight": (c, self.kernel_size, self.kernel_size),
+            "bias": (c,),
+        }
+
+    @property
+    def flops_per_point(self) -> float:
+        c, out_h, out_w = self._out_shape
+        return 2.0 * c * out_h * out_w * self.kernel_size**2
+
+    def config(self) -> dict:
+        return {
+            **super().config(),
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+        }
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        self._require_init()
+        n = x.shape[0]
+        c = self.input_shape[0]
+        k, s, p = self.kernel_size, self.stride, self.padding
+        __, out_h, out_w = self._out_shape
+        if p:
+            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2],
+            x.strides[3],
+            x.strides[2] * s,
+            x.strides[3] * s,
+        )
+        windows = np.lib.stride_tricks.as_strided(
+            x, shape=(n, c, k, k, out_h, out_w), strides=strides, writeable=False
+        )
+        # Per-channel kernels: contract the two kernel axes channel-wise.
+        out = np.einsum("nckhpq,ckh->ncpq", windows, self._params["weight"], optimize=True)
+        return out + self._params["bias"][None, :, None, None]
+
+
+class BatchNorm2d(Layer):
+    """Inference-mode batch normalization over the channel axis."""
+
+    def __init__(self, input_shape: Shape, epsilon: float = 1e-5) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 3:
+            raise ShapeError(f"BatchNorm2d expects (C, H, W), got {self.input_shape}")
+        self.epsilon = float(epsilon)
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.input_shape
+
+    def param_shapes(self) -> dict[str, Shape]:
+        c = self.input_shape[0]
+        return {
+            "gamma": (c,),
+            "beta": (c,),
+            "running_mean": (c,),
+            "running_var": (c,),
+        }
+
+    @property
+    def flops_per_point(self) -> float:
+        return 2.0 * float(np.prod(self.input_shape))
+
+    def config(self) -> dict:
+        return {**super().config(), "epsilon": self.epsilon}
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        c = self.input_shape[0]
+        self._params = {
+            "gamma": np.ones(c, dtype=np.float32),
+            "beta": np.zeros(c, dtype=np.float32),
+            "running_mean": rng.standard_normal(c).astype(np.float32) * 0.1,
+            "running_var": np.abs(rng.standard_normal(c)).astype(np.float32) + 0.5,
+        }
+        self._initialized = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        self._require_init()
+        p = self._params
+        scale = p["gamma"] / np.sqrt(p["running_var"] + self.epsilon)
+        shift = p["beta"] - p["running_mean"] * scale
+        return x * scale[None, :, None, None] + shift[None, :, None, None]
+
+
+class ReLU(Layer):
+    @property
+    def output_shape(self) -> Shape:
+        return self.input_shape
+
+    @property
+    def flops_per_point(self) -> float:
+        return float(np.prod(self.input_shape))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(self._check_input(x), 0.0)
+
+
+class Softmax(Layer):
+    """Numerically stable softmax over the last axis."""
+
+    def __init__(self, input_shape: Shape) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 1:
+            raise ShapeError(f"Softmax expects a flat input, got {self.input_shape}")
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.input_shape
+
+    @property
+    def flops_per_point(self) -> float:
+        return 3.0 * self.input_shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class Flatten(Layer):
+    @property
+    def output_shape(self) -> Shape:
+        return (int(np.prod(self.input_shape)),)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        return x.reshape(x.shape[0], -1)
+
+
+class MaxPool2d(Layer):
+    def __init__(self, input_shape: Shape, pool_size: int, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 3:
+            raise ShapeError(f"MaxPool2d expects (C, H, W), got {self.input_shape}")
+        self.pool_size = int(pool_size)
+        self.stride = int(stride) if stride is not None else self.pool_size
+        self.padding = int(padding)
+        c, h, w = self.input_shape
+        out_h = (h + 2 * self.padding - self.pool_size) // self.stride + 1
+        out_w = (w + 2 * self.padding - self.pool_size) // self.stride + 1
+        if out_h < 1 or out_w < 1:
+            raise ShapeError("MaxPool2d: pool does not fit input")
+        self._out_shape = (c, out_h, out_w)
+
+    @property
+    def output_shape(self) -> Shape:
+        return self._out_shape
+
+    @property
+    def flops_per_point(self) -> float:
+        return float(np.prod(self._out_shape)) * self.pool_size**2
+
+    def config(self) -> dict:
+        return {
+            **super().config(),
+            "pool_size": self.pool_size,
+            "stride": self.stride,
+            "padding": self.padding,
+        }
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        n = x.shape[0]
+        c, __, __ = self.input_shape
+        k, s, p = self.pool_size, self.stride, self.padding
+        __, out_h, out_w = self._out_shape
+        if p:
+            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2] * s,
+            x.strides[3] * s,
+            x.strides[2],
+            x.strides[3],
+        )
+        windows = np.lib.stride_tricks.as_strided(
+            x, shape=(n, c, out_h, out_w, k, k), strides=strides, writeable=False
+        )
+        return windows.max(axis=(4, 5))
+
+
+class GlobalAvgPool2d(Layer):
+    def __init__(self, input_shape: Shape) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 3:
+            raise ShapeError(
+                f"GlobalAvgPool2d expects (C, H, W), got {self.input_shape}"
+            )
+
+    @property
+    def output_shape(self) -> Shape:
+        return (self.input_shape[0],)
+
+    @property
+    def flops_per_point(self) -> float:
+        return float(np.prod(self.input_shape))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._check_input(x).mean(axis=(2, 3))
+
+
+class Gru(Layer):
+    """A GRU over a ``(timesteps, features)`` input, returning the final
+    hidden state (the sequence-model class of §4.1's RNN workloads)."""
+
+    def __init__(self, input_shape: Shape, hidden: int) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 2:
+            raise ShapeError(f"Gru expects (timesteps, features), got {self.input_shape}")
+        if hidden < 1:
+            raise ShapeError(f"Gru hidden size must be >= 1, got {hidden}")
+        self.hidden = int(hidden)
+
+    @property
+    def timesteps(self) -> int:
+        return self.input_shape[0]
+
+    @property
+    def features(self) -> int:
+        return self.input_shape[1]
+
+    @property
+    def output_shape(self) -> Shape:
+        return (self.hidden,)
+
+    def param_shapes(self) -> dict[str, Shape]:
+        # Update, reset, and candidate gates share the layout:
+        # input kernel, recurrent kernel, bias.
+        shapes: dict[str, Shape] = {}
+        for gate in ("update", "reset", "candidate"):
+            shapes[f"{gate}_kernel"] = (self.features, self.hidden)
+            shapes[f"{gate}_recurrent"] = (self.hidden, self.hidden)
+            shapes[f"{gate}_bias"] = (self.hidden,)
+        return shapes
+
+    @property
+    def flops_per_point(self) -> float:
+        per_gate = 2.0 * (self.features + self.hidden) * self.hidden
+        elementwise = 6.0 * self.hidden
+        return self.timesteps * (3.0 * per_gate + elementwise)
+
+    def config(self) -> dict:
+        return {**super().config(), "hidden": self.hidden}
+
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        self._require_init()
+        p = self._params
+        h = np.zeros((x.shape[0], self.hidden), dtype=np.float32)
+        for t in range(self.timesteps):
+            step = x[:, t, :]
+            z = self._sigmoid(
+                step @ p["update_kernel"] + h @ p["update_recurrent"] + p["update_bias"]
+            )
+            r = self._sigmoid(
+                step @ p["reset_kernel"] + h @ p["reset_recurrent"] + p["reset_bias"]
+            )
+            candidate = np.tanh(
+                step @ p["candidate_kernel"]
+                + (r * h) @ p["candidate_recurrent"]
+                + p["candidate_bias"]
+            )
+            h = (1.0 - z) * h + z * candidate
+        return h
+
+
+class Sigmoid(Layer):
+    """Elementwise logistic activation (autoencoder output layers)."""
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.input_shape
+
+    @property
+    def flops_per_point(self) -> float:
+        return 4.0 * float(np.prod(self.input_shape))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable split: never exponentiate a large positive
+        # argument (float32 overflows past ~88).
+        x = self._check_input(x)
+        out = np.empty_like(x)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        return out
+
+
+class Swish(Layer):
+    """``x * sigmoid(x)`` (SiLU), EfficientNet's activation."""
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.input_shape
+
+    @property
+    def flops_per_point(self) -> float:
+        return 5.0 * float(np.prod(self.input_shape))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        gate = np.empty_like(x)
+        positive = x >= 0
+        gate[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        gate[~positive] = exp_x / (1.0 + exp_x)
+        return x * gate
+
+
+class SqueezeExcite(Layer):
+    """Squeeze-and-excitation: global pooling -> bottleneck MLP ->
+    per-channel sigmoid gates (EfficientNet's channel attention)."""
+
+    def __init__(self, input_shape: Shape, reduction: int = 4) -> None:
+        super().__init__(input_shape)
+        if len(self.input_shape) != 3:
+            raise ShapeError(f"SqueezeExcite expects (C, H, W), got {self.input_shape}")
+        if reduction < 1:
+            raise ShapeError(f"reduction must be >= 1, got {reduction}")
+        self.reduction = int(reduction)
+        self.squeezed = max(self.input_shape[0] // self.reduction, 1)
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.input_shape
+
+    def param_shapes(self) -> dict[str, Shape]:
+        c = self.input_shape[0]
+        return {
+            "reduce_weight": (c, self.squeezed),
+            "reduce_bias": (self.squeezed,),
+            "expand_weight": (self.squeezed, c),
+            "expand_bias": (c,),
+        }
+
+    @property
+    def flops_per_point(self) -> float:
+        c = self.input_shape[0]
+        pool = float(np.prod(self.input_shape))
+        mlp = 2.0 * (c * self.squeezed) * 2
+        scale = float(np.prod(self.input_shape))
+        return pool + mlp + scale
+
+    def config(self) -> dict:
+        return {**super().config(), "reduction": self.reduction}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        self._require_init()
+        p = self._params
+        squeezed = x.mean(axis=(2, 3))  # (n, C)
+        hidden = np.maximum(squeezed @ p["reduce_weight"] + p["reduce_bias"], 0.0)
+        logits = hidden @ p["expand_weight"] + p["expand_bias"]
+        gates = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        return x * gates[:, :, None, None]
+
+
+class Add(Layer):
+    """Elementwise addition of two same-shaped activations."""
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.input_shape
+
+    @property
+    def flops_per_point(self) -> float:
+        return float(np.prod(self.input_shape))
+
+    def forward(self, x: np.ndarray, shortcut: np.ndarray | None = None) -> np.ndarray:  # type: ignore[override]
+        x = self._check_input(x)
+        if shortcut is None:
+            raise ShapeError("Add.forward needs both inputs")
+        if shortcut.shape != x.shape:
+            raise ShapeError(f"Add: {x.shape} vs {shortcut.shape}")
+        return x + shortcut
+
+
+class Residual(Layer):
+    """A residual block: ``relu(main(x) + shortcut(x))``.
+
+    ``main`` and ``shortcut`` are lists of layers; an empty shortcut is
+    the identity.
+    """
+
+    def __init__(
+        self,
+        input_shape: Shape,
+        main: list[Layer],
+        shortcut: list[Layer] | None = None,
+        final_relu: bool = True,
+    ) -> None:
+        super().__init__(input_shape)
+        if not main:
+            raise ShapeError("Residual: main path cannot be empty")
+        self.main = list(main)
+        self.shortcut = list(shortcut) if shortcut else []
+        # ResNet applies ReLU after the addition; MBConv (EfficientNet)
+        # adds without an activation.
+        self.final_relu = bool(final_relu)
+        main_out = self.main[-1].output_shape
+        short_out = self.shortcut[-1].output_shape if self.shortcut else self.input_shape
+        if main_out != short_out:
+            raise ShapeError(
+                f"Residual: main out {main_out} != shortcut out {short_out}"
+            )
+        if tuple(self.main[0].input_shape) != self.input_shape:
+            raise ShapeError("Residual: main path input mismatch")
+        if self.shortcut and tuple(self.shortcut[0].input_shape) != self.input_shape:
+            raise ShapeError("Residual: shortcut path input mismatch")
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.main[-1].output_shape
+
+    def _sublayers(self) -> list[Layer]:
+        return self.main + self.shortcut
+
+    def param_shapes(self) -> dict[str, Shape]:
+        shapes: dict[str, Shape] = {}
+        for prefix, layers in (("main", self.main), ("shortcut", self.shortcut)):
+            for i, layer in enumerate(layers):
+                for name, shape in layer.param_shapes().items():
+                    shapes[f"{prefix}.{i}.{name}"] = shape
+        return shapes
+
+    @property
+    def flops_per_point(self) -> float:
+        body = sum(l.flops_per_point for l in self._sublayers())
+        add_and_relu = 2.0 * float(np.prod(self.output_shape))
+        return body + add_and_relu
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        for layer in self._sublayers():
+            layer.initialize(rng)
+        self._initialized = True
+
+    def get_params(self) -> dict[str, np.ndarray]:
+        params: dict[str, np.ndarray] = {}
+        for prefix, layers in (("main", self.main), ("shortcut", self.shortcut)):
+            for i, layer in enumerate(layers):
+                for name, array in layer.get_params().items():
+                    params[f"{prefix}.{i}.{name}"] = array
+        return params
+
+    def set_params(self, params: dict[str, np.ndarray]) -> None:
+        for prefix, layers in (("main", self.main), ("shortcut", self.shortcut)):
+            for i, layer in enumerate(layers):
+                expected = layer.param_shapes()
+                sub = {
+                    name: params[f"{prefix}.{i}.{name}"] for name in expected
+                }
+                if expected:
+                    layer.set_params(sub)
+        self._initialized = True
+
+    def config(self) -> dict:
+        from repro.nn.model import layer_config, layers_from_config
+
+        __ = layers_from_config  # imported for symmetry; silences linters
+        return {
+            **super().config(),
+            "main": [layer_config(l) for l in self.main],
+            "shortcut": [layer_config(l) for l in self.shortcut],
+            "final_relu": self.final_relu,
+        }
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        out = x
+        for layer in self.main:
+            out = layer.forward(out)
+        short = x
+        for layer in self.shortcut:
+            short = layer.forward(short)
+        combined = out + short
+        if self.final_relu:
+            return np.maximum(combined, 0.0)
+        return combined

@@ -1,0 +1,109 @@
+"""Model registry: static characteristics without materializing weights.
+
+Serving cost models need FLOPs, parameter counts, and tensor sizes; those
+are pure shape algebra, so :class:`ModelInfo` computes them from the
+architecture alone and caches the result per model name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import math
+import typing
+
+from repro.errors import ConfigError
+from repro.nn.model import Sequential
+from repro.nn.zoo.autoencoder import build_autoencoder
+from repro.nn.zoo.efficientnet import build_efficientnet
+from repro.nn.zoo.ffnn import build_ffnn
+from repro.nn.zoo.mobilenet import build_mobilenet
+from repro.nn.zoo.resnet import build_resnet50
+from repro.nn.zoo.rnn import build_gru
+
+_BUILDERS: dict[str, typing.Callable[..., Sequential]] = {
+    "autoencoder": build_autoencoder,
+    "efficientnet_b0": build_efficientnet,
+    "ffnn": build_ffnn,
+    "gru": build_gru,
+    "mobilenet": build_mobilenet,
+    "resnet50": build_resnet50,
+}
+
+
+def available_models() -> list[str]:
+    """Names of all registered models (built-in + user-registered)."""
+    return sorted(_BUILDERS)
+
+
+def register_model(name: str, builder: typing.Callable[..., Sequential]) -> None:
+    """Register a user model (§3.2: Crayfish is model-extensible).
+
+    ``builder`` must accept ``initialize: bool`` and ``seed: int`` keyword
+    arguments and return a :class:`Sequential`. Built-in names cannot be
+    overridden.
+    """
+    if name in _BUILDERS:
+        raise ConfigError(f"model {name!r} is already registered")
+    _BUILDERS[name] = builder
+    model_info.cache_clear()
+
+
+_BUILTIN_MODELS = frozenset(
+    ("autoencoder", "efficientnet_b0", "ffnn", "gru", "mobilenet", "resnet50")
+)
+
+
+def unregister_model(name: str) -> None:
+    """Remove a user-registered model; built-ins cannot be removed."""
+    if name in _BUILTIN_MODELS:
+        raise ConfigError(f"cannot unregister built-in model {name!r}")
+    if name not in _BUILDERS:
+        raise ConfigError(f"model {name!r} is not registered")
+    del _BUILDERS[name]
+    model_info.cache_clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelInfo:
+    """Static facts about one zoo model."""
+
+    name: str
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+    param_count: int
+    flops_per_point: float
+
+    @property
+    def input_values(self) -> int:
+        """Scalar values in one input point."""
+        return int(math.prod(self.input_shape))
+
+    @property
+    def output_values(self) -> int:
+        """Scalar values in one prediction."""
+        return int(math.prod(self.output_shape))
+
+
+@functools.lru_cache(maxsize=None)
+def model_info(name: str) -> ModelInfo:
+    """Characteristics of the named model (architecture only, no weights)."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigError(f"unknown model {name!r}; have {sorted(_BUILDERS)}")
+    model = builder(initialize=False)
+    return ModelInfo(
+        name=name,
+        input_shape=model.input_shape,
+        output_shape=model.output_shape,
+        param_count=model.param_count,
+        flops_per_point=model.flops_per_point,
+    )
+
+
+def get_model(name: str, initialize: bool = True, seed: int = 0) -> Sequential:
+    """Build (and by default materialize) the named zoo model."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigError(f"unknown model {name!r}; have {sorted(_BUILDERS)}")
+    return builder(initialize=initialize, seed=seed)

@@ -1,0 +1,23 @@
+"""Model-serving tools: embedded libraries and external services.
+
+Embedded tools (ONNX Runtime, DL4J, SavedModel) run inference inside the
+stream processor's process: the scoring task blocks for the engine's
+service time and shares the host with every other task. External tools
+(TF-Serving, TorchServe, Ray Serve) run as standalone simulated services
+with their own worker pools; clients pay serialization and LAN transfers
+per request.
+
+Every tool exposes the Crayfish serving interface (§3.2): ``load()`` and
+``score(bsz)`` — both simulation coroutines.
+"""
+
+from repro.serving.base import ServingTool, ScoringResult
+from repro.serving.costs import ServingCostModel
+from repro.serving.factory import create_serving_tool
+
+__all__ = [
+    "ServingTool",
+    "ScoringResult",
+    "ServingCostModel",
+    "create_serving_tool",
+]

@@ -1,0 +1,69 @@
+"""The Crayfish serving interface (§3.2): ``load`` and ``apply``.
+
+Every serving tool — embedded or external — implements
+:class:`ServingTool`: a ``load()`` coroutine run once before the streaming
+job starts and a ``score(bsz)`` coroutine invoked per CrayfishDataBatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ServingError
+from repro.serving.costs import ServingCostModel
+from repro.simul import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class ScoringResult:
+    """What a scoring call produced."""
+
+    #: Data points scored.
+    points: int
+    #: Scalar values in the predictions (bsz * output_values).
+    output_values: int
+    #: Simulated seconds the call took end to end.
+    service_time: float
+
+
+class ServingTool:
+    """Base class for serving tools bound to one experiment."""
+
+    #: "embedded" or "external"; informs SPS adapters and reports.
+    kind: str = ""
+
+    def __init__(self, env: Environment, costs: ServingCostModel) -> None:
+        self.env = env
+        self.costs = costs
+        self._loaded = False
+        self.requests_served = 0
+
+    @property
+    def name(self) -> str:
+        return self.costs.profile.name
+
+    @property
+    def loaded(self) -> bool:
+        return self._loaded
+
+    def load(self) -> typing.Generator:
+        """Coroutine: bring the model into memory (charged as warm-up)."""
+        yield self.env.timeout(self.costs.load_time())
+        self._loaded = True
+
+    def score(self, bsz: int, vectorized: bool = False) -> typing.Generator:
+        """Coroutine: score one batch; returns :class:`ScoringResult`.
+
+        ``vectorized`` marks whole-chunk calls whose inputs arrive as one
+        contiguous tensor (micro-batch engines), which discounts
+        per-point marshalling.
+        """
+        raise NotImplementedError
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise ServingError(
+                f"{self.name}: score() before load() — the model is not "
+                "in memory"
+            )

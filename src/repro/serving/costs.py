@@ -1,0 +1,126 @@
+"""Engine service-time model shared by embedded and external tools."""
+
+from __future__ import annotations
+
+from repro import calibration as cal
+from repro.nn.zoo import ModelInfo
+from repro.simul import RandomStreams
+
+
+class ServingCostModel:
+    """Computes inference service times for one (tool, model) pair.
+
+    The deterministic part is mechanistic: a fixed call overhead, a
+    per-value tensor-conversion cost, and ``FLOPs / engine rate`` compute
+    that a GPU accelerates (minus a host->device transfer). On top sits
+    per-tool multiplicative lognormal noise and a contention factor for
+    workers sharing one engine process.
+    """
+
+    def __init__(
+        self,
+        profile: cal.ServingProfile,
+        model: ModelInfo,
+        mp: int = 1,
+        gpu: bool = False,
+        rng: RandomStreams | None = None,
+    ) -> None:
+        if mp < 1:
+            raise ValueError(f"mp must be >= 1, got {mp}")
+        self.profile = profile
+        self.model = model
+        self.mp = mp
+        self.gpu = gpu
+        self.rng = rng
+        self._noise_stream = f"serving.{profile.name}.{model.name}"
+        self._modulation_cache: dict[int, float] = {}
+
+    @property
+    def is_large_model(self) -> bool:
+        return self.model.flops_per_point >= cal.LARGE_MODEL_FLOPS
+
+    @property
+    def engine_concurrency(self) -> int:
+        """How many requests the engine executes concurrently."""
+        limit = self.mp
+        if self.profile.max_parallelism is not None:
+            limit = min(limit, self.profile.max_parallelism)
+        if self.is_large_model and self.profile.large_model_concurrency is not None:
+            limit = min(limit, self.profile.large_model_concurrency)
+        return max(limit, 1)
+
+    @property
+    def contention_factor(self) -> float:
+        """Service-time inflation from ``mp`` workers sharing the engine."""
+        alpha = self.profile.contention_alpha
+        if self.is_large_model and self.profile.large_model_alpha:
+            alpha = self.profile.large_model_alpha
+        # Contention scales with every configured worker, even those
+        # queueing for a capped engine (they still churn the process):
+        # this is what keeps DL4J flat beyond its 8-slot cap (Fig. 6).
+        return 1.0 + alpha * (self.mp - 1)
+
+    def compute_time_per_point(self) -> float:
+        """Pure arithmetic time for one data point."""
+        compute = self.model.flops_per_point / self.profile.flops_per_sec
+        if self.gpu:
+            compute /= self.profile.gpu_speedup
+        return compute
+
+    def gpu_transfer_time(self, bsz: int) -> float:
+        """Host->device input transfer when the GPU is enabled."""
+        if not self.gpu:
+            return 0.0
+        nbytes = bsz * self.model.input_values * 4
+        return nbytes * self.profile.gpu_transfer_per_byte
+
+    def base_apply_time(self, bsz: int, vectorized: bool = False) -> float:
+        """Deterministic service time for one apply() of ``bsz`` points.
+
+        ``vectorized`` models a caller that hands the engine one
+        contiguous tensor for the whole batch (Spark's micro-batch map):
+        per-point marshalling collapses to a memcpy share
+        (``VECTORIZED_CONVERT_DISCOUNT``).
+        """
+        if bsz < 1:
+            raise ValueError(f"bsz must be >= 1, got {bsz}")
+        convert = self.profile.convert_per_value * self.model.input_values
+        if vectorized:
+            convert *= cal.VECTORIZED_CONVERT_DISCOUNT
+        marginal = convert + self.compute_time_per_point()
+        return (
+            self.profile.call_overhead
+            + bsz * marginal
+            + self.gpu_transfer_time(bsz)
+        ) * self.contention_factor
+
+    def _slow_modulation(self, now: float | None) -> float:
+        """Slow multiplicative service-rate drift (GC pauses, co-located
+        load), redrawn every ``MODULATION_BUCKET`` of simulated time.
+        Gives noisy engines (TF-Serving) burst-to-burst recovery variance
+        (Fig. 8) that iid per-request noise cannot produce."""
+        if self.rng is None or self.profile.slow_sigma <= 0 or now is None:
+            return 1.0
+        bucket = int(now / cal.MODULATION_BUCKET)
+        if bucket not in self._modulation_cache:
+            self._modulation_cache[bucket] = self.rng.lognormal_factor(
+                f"{self._noise_stream}.slow", self.profile.slow_sigma
+            )
+        return self._modulation_cache[bucket]
+
+    def apply_time(
+        self, bsz: int, vectorized: bool = False, now: float | None = None
+    ) -> float:
+        """Service time with per-request noise and slow drift applied."""
+        time = self.base_apply_time(bsz, vectorized=vectorized)
+        if self.rng is not None:
+            time *= self.rng.lognormal_factor(
+                self._noise_stream, self.profile.noise_sigma
+            )
+        return time * self._slow_modulation(now)
+
+    def load_time(self) -> float:
+        """Time to load the model artifact into memory (warm-up only)."""
+        nbytes = self.model.param_count * 4
+        disk_rate = 200e6  # bytes/s
+        return 0.2 + nbytes / disk_rate

@@ -1,0 +1,8 @@
+"""Embedded interoperability libraries (§3.4.2)."""
+
+from repro.serving.embedded.library import EmbeddedLibrary
+from repro.serving.embedded.onnx_runtime import OnnxRuntimeTool
+from repro.serving.embedded.dl4j import Dl4jTool
+from repro.serving.embedded.savedmodel import SavedModelTool
+
+__all__ = ["EmbeddedLibrary", "OnnxRuntimeTool", "Dl4jTool", "SavedModelTool"]

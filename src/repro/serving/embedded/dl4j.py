@@ -1,0 +1,13 @@
+"""DeepLearning4j (§3.4.2): the JVM-native embedded engine.
+
+Imports Keras models from H5 artifacts. Its tensor bridge (ND4J) pays a
+higher per-value marshalling cost than ONNX Runtime, and its internal
+workspace locking stops useful scaling past 8 concurrent scorers —
+reproducing Fig. 6's flat DL4J curve beyond mp=8.
+"""
+
+from repro.serving.embedded.library import EmbeddedLibrary
+
+
+class Dl4jTool(EmbeddedLibrary):
+    """DeepLearning4j embedded in the stream processor."""

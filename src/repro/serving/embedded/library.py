@@ -1,0 +1,65 @@
+"""Embedded serving: inference inside the stream processor's process.
+
+The scoring task thread blocks for the engine's service time. One engine
+instance is shared by all ``mp`` scoring tasks in the process, so:
+
+- engines with an internal parallelism cap (DL4J) serialize excess
+  callers on a shared slot pool, and
+- every call pays the contention factor for resource sharing with the
+  host SPS (the paper's Fig. 6 scaling penalty for embedded tools).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.serving.base import ScoringResult, ServingTool
+from repro.serving.costs import ServingCostModel
+from repro.simul import Environment, Resource
+
+
+class EmbeddedLibrary(ServingTool):
+    """A library loaded via FFI into the SPS process."""
+
+    kind = "embedded"
+
+    def __init__(self, env: Environment, costs: ServingCostModel) -> None:
+        super().__init__(env, costs)
+        # Slots bound by the engine's useful internal parallelism.
+        self._engine = Resource(env, capacity=costs.engine_concurrency)
+        self.model_swaps = 0
+
+    def score(self, bsz: int, vectorized: bool = False) -> typing.Generator:
+        self._require_loaded()
+        start = self.env.now
+        with self._engine.request() as slot:
+            yield slot
+            yield self.env.timeout(
+                self.costs.apply_time(bsz, vectorized=vectorized, now=self.env.now)
+            )
+        self.requests_served += 1
+        return ScoringResult(
+            points=bsz,
+            output_values=bsz * self.costs.model.output_values,
+            service_time=self.env.now - start,
+        )
+
+    def swap_model(self, new_costs: "ServingCostModel") -> typing.Generator:
+        """Coroutine: replace the in-memory model with a new version.
+
+        Embedded serving has no second copy to warm up behind the scenes:
+        the engine must quiesce (every slot drained) and the scoring
+        operators stall for the whole load — the §7.2 contrast with an
+        external server's zero-downtime rollout
+        (:class:`~repro.serving.external.multi_model.MultiModelServer`).
+        """
+        self._require_loaded()
+        slots = [self._engine.request() for __ in range(self._engine.capacity)]
+        yield self.env.all_of(slots)
+        try:
+            yield self.env.timeout(new_costs.load_time())
+            self.costs = new_costs
+        finally:
+            for slot in slots:
+                self._engine.release(slot)
+        self.model_swaps += 1

@@ -1,0 +1,12 @@
+"""ONNX Runtime (§3.4.2): the cross-framework embedded engine.
+
+Chosen by the paper for its interoperability; in our study it is the
+fastest embedded option (Table 4) thanks to a cheap FFI boundary and a
+well-optimized CPU kernel library.
+"""
+
+from repro.serving.embedded.library import EmbeddedLibrary
+
+
+class OnnxRuntimeTool(EmbeddedLibrary):
+    """ONNX Runtime embedded in the stream processor."""

@@ -1,0 +1,12 @@
+"""TensorFlow SavedModel bundle (§3.4.2): the format-specialized engine.
+
+Executes SavedModel artifacts in-process via the TensorFlow Java
+bindings. Close to ONNX Runtime on throughput (Table 4) but with more
+variance at high parallelism (Fig. 6's large stddev at mp=16).
+"""
+
+from repro.serving.embedded.library import EmbeddedLibrary
+
+
+class SavedModelTool(EmbeddedLibrary):
+    """TensorFlow SavedModel executed inside the stream processor."""

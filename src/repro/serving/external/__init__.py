@@ -1,0 +1,13 @@
+"""External serving frameworks (§3.4.3-§3.4.4)."""
+
+from repro.serving.external.server import ExternalServingService
+from repro.serving.external.tf_serving import TfServingTool
+from repro.serving.external.torchserve import TorchServeTool
+from repro.serving.external.ray_serve import RayServeTool
+
+__all__ = [
+    "ExternalServingService",
+    "TfServingTool",
+    "TorchServeTool",
+    "RayServeTool",
+]

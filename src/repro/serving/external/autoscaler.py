@@ -1,0 +1,170 @@
+"""Queue-driven autoscaling for external serving services (§1, §7.2).
+
+"Managing and scaling the inference lifecycle is operated by the
+specialized inference service" — the paper names autoscaling as a core
+reason external serving is attractive, but benchmarks fixed worker
+counts. This module adds a reactive autoscaler: it watches the request
+queue and grows/shrinks the worker pool between configured bounds, with
+a realistic provisioning delay (container start + model load) on the way
+up. The burst-recovery ablation quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ConfigError
+from repro.serving.external.server import ExternalServingService
+from repro.simul import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalePolicy:
+    """Reactive scaling rules."""
+
+    min_workers: int = 1
+    max_workers: int = 8
+    #: Scale up when queued requests exceed this many per live worker.
+    scale_up_queue_per_worker: float = 4.0
+    #: Scale down when the queue is below this many per live worker.
+    scale_down_queue_per_worker: float = 0.5
+    #: How often the autoscaler evaluates the queue.
+    check_interval: float = 0.25
+    #: Provisioning delay for a new worker (container start + model load).
+    worker_start_delay: float = 1.0
+    #: Workers added per scale-up decision.
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1 or self.max_workers < self.min_workers:
+            raise ConfigError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}"
+            )
+        if self.check_interval <= 0 or self.worker_start_delay < 0:
+            raise ConfigError("invalid autoscaler timings")
+        if self.step < 1:
+            raise ConfigError(f"step must be >= 1, got {self.step}")
+        if self.scale_down_queue_per_worker >= self.scale_up_queue_per_worker:
+            raise ConfigError("scale-down threshold must be below scale-up")
+
+
+class _Retire:
+    """Poison pill: the worker that dequeues it checks for retirement."""
+
+
+class Autoscaler:
+    """Scales an :class:`ExternalServingService`'s worker pool.
+
+    ``horizon`` bounds the control loop (the experiment runner passes the
+    run duration); ``None`` keeps it running for as long as the
+    simulation is driven with ``run(until=...)``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        service: ExternalServingService,
+        policy: AutoscalePolicy,
+        horizon: float | None = None,
+    ) -> None:
+        self.env = env
+        self.service = service
+        self.policy = policy
+        self.horizon = horizon
+        self.desired = policy.min_workers
+        self.peak_desired = policy.min_workers
+        self.live = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._worker_seq = 0
+        # Take over worker management from the service.
+        service._start_workers = self._bootstrap  # type: ignore[method-assign]
+        # The engine must admit the scaled-out pool (still bounded by
+        # large-model session limits).
+        from repro.simul import Resource
+
+        concurrency = policy.max_workers
+        if (
+            service.costs.is_large_model
+            and service.costs.profile.large_model_concurrency is not None
+        ):
+            concurrency = min(
+                concurrency, service.costs.profile.large_model_concurrency
+            )
+        service._engine = Resource(env, capacity=concurrency)
+
+    def _bootstrap(self) -> None:
+        if self.service._workers_started:
+            return
+        self.service._workers_started = True
+        for __ in range(self.policy.min_workers):
+            self._spawn_worker(delay=0.0)
+        self.env.process(self._control_loop())
+
+    def _spawn_worker(self, delay: float) -> None:
+        self._worker_seq += 1
+        self.live += 1
+        self.env.process(self._worker(delay))
+
+    def _worker(self, delay: float) -> typing.Generator:
+        if delay:
+            yield self.env.timeout(delay)
+        service = self.service
+        model = service.costs.model
+        while True:
+            request = yield service._queue.get()
+            if isinstance(request, _Retire):
+                if self.live > self.desired:
+                    self.live -= 1  # retire: the pool shrank below us
+                    return
+                continue  # stale pill (a newer scale-up superseded it)
+            decode = service.channel.server_decode_cost(
+                request.bsz * model.input_values
+            )
+            yield self.env.timeout(decode)
+            with service._engine.request() as slot:
+                yield slot
+                yield self.env.timeout(
+                    service.costs.apply_time(
+                        request.bsz,
+                        vectorized=request.vectorized,
+                        now=self.env.now,
+                    )
+                )
+            encode = service.channel.server_encode_cost(
+                request.bsz * model.output_values
+            )
+            yield self.env.timeout(encode)
+            request.reply.succeed()
+            service.requests_served += 1
+
+    def _control_loop(self) -> typing.Generator:
+        policy = self.policy
+        while self.horizon is None or self.env.now < self.horizon:
+            yield self.env.timeout(policy.check_interval)
+            # Count only real requests, not retirement pills.
+            queued = sum(
+                1 for item in self.service._queue.items
+                if not isinstance(item, _Retire)
+            )
+            if (
+                queued > policy.scale_up_queue_per_worker * self.desired
+                and self.desired < policy.max_workers
+            ):
+                added = min(policy.step, policy.max_workers - self.desired)
+                self.desired += added
+                self.peak_desired = max(self.peak_desired, self.desired)
+                self.scale_ups += 1
+                for __ in range(added):
+                    self._spawn_worker(delay=policy.worker_start_delay)
+            elif (
+                queued < policy.scale_down_queue_per_worker * self.desired
+                and self.desired > policy.min_workers
+            ):
+                self.desired -= 1
+                self.scale_downs += 1
+                # The pill drains behind any backlog; the worker that
+                # takes it retires (graceful scale-down).
+                self.service._queue.try_put(_Retire())

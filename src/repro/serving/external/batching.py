@@ -1,0 +1,110 @@
+"""Server-side adaptive batching for external serving.
+
+The paper's related work (Clipper, InferLine) highlights adaptive
+batching as the serving-system counterpart of Spark's micro-batching:
+the server coalesces queued requests into one engine call — up to
+``max_size`` requests or ``max_delay`` seconds of waiting — amortizing
+per-request overhead at a bounded latency cost. This module adds that
+capability to any :class:`ExternalServingService`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ConfigError
+from repro.simul import Store
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchingPolicy:
+    """Coalescing limits for the server-side batcher."""
+
+    max_size: int = 8
+    max_delay: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_size < 2:
+            raise ConfigError(f"max_size must be >= 2, got {self.max_size}")
+        if self.max_delay <= 0:
+            raise ConfigError(f"max_delay must be positive, got {self.max_delay}")
+
+
+def install_adaptive_batching(service, policy: BatchingPolicy) -> None:
+    """Rewire ``service`` so workers consume coalesced request batches.
+
+    The service's ingress queue is drained by a dispatcher that forms
+    batches; workers execute one engine call per batch and complete every
+    member's reply. Must be called before the service is loaded.
+    """
+    if service._workers_started:
+        raise ConfigError("install batching before the service starts")
+    service.batching = policy
+    service._batch_queue = Store(service.env)
+    service._start_workers_plain = service._start_workers
+
+    def start_with_batcher() -> None:
+        if service._workers_started:
+            return
+        service._workers_started = True
+        service.env.process(_dispatcher(service, policy))
+        for __ in range(service.costs.mp):
+            service.env.process(_batch_worker(service))
+
+    service._start_workers = start_with_batcher
+
+
+def _get_with_deadline(env, store: Store, deadline: float) -> typing.Generator:
+    """Wait for the next item or the deadline, whichever first.
+
+    Returns ``(got, item)``. A get that loses the race is neutralized by
+    triggering it empty, which the store skips when dispatching.
+    """
+    getter = store.get()
+    timeout = env.timeout(max(deadline - env.now, 0.0))
+    yield env.any_of([getter, timeout])
+    if getter.processed:
+        return True, getter.value
+    if not getter.triggered:
+        getter.succeed(None)  # cancel: the store skips triggered waiters
+    return False, None
+
+
+def _dispatcher(service, policy: BatchingPolicy) -> typing.Generator:
+    env = service.env
+    while True:
+        first = yield service._queue.get()
+        batch = [first]
+        deadline = env.now + policy.max_delay
+        while len(batch) < policy.max_size and env.now < deadline:
+            got, item = yield from _get_with_deadline(env, service._queue, deadline)
+            if not got:
+                break
+            batch.append(item)
+        yield service._batch_queue.put(batch)
+
+
+def _batch_worker(service) -> typing.Generator:
+    env = service.env
+    model = service.costs.model
+    while True:
+        batch = yield service._batch_queue.get()
+        total_points = sum(request.bsz for request in batch)
+        decode = service.channel.server_decode_cost(
+            total_points * model.input_values
+        )
+        yield env.timeout(decode)
+        with service._engine.request() as slot:
+            yield slot
+            # One engine call for the whole coalesced batch.
+            yield env.timeout(
+                service.costs.apply_time(total_points, now=env.now)
+            )
+        encode = service.channel.server_encode_cost(
+            total_points * model.output_values
+        )
+        yield env.timeout(encode)
+        for request in batch:
+            request.reply.succeed()
+            service.requests_served += 1

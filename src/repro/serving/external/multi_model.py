@@ -1,0 +1,152 @@
+"""Multi-model serving and zero-downtime version rollout (§7.2).
+
+The paper's discussion lists model management, versioning, and
+multi-model serving as the capabilities that make external serving
+attractive in production, "features natively supported by most external
+alternatives". This module implements them:
+
+- :class:`MultiModelServer` hosts many named models behind one endpoint,
+  routing each request to the currently active version.
+- :meth:`MultiModelServer.deploy` loads a new version *in the
+  background*; the old version keeps serving until the new one is warm,
+  then traffic switches atomically — a zero-downtime rollout.
+
+The embedded counterpart, :meth:`EmbeddedLibrary.swap_model`
+(see :mod:`repro.serving.embedded.library`), must quiesce the engine to
+replace weights in place, stalling the scoring operators for the whole
+load — the contrast `examples/model_rollout.py` measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ServingError
+from repro.netsim import GrpcChannel, RpcChannel
+from repro.serving.base import ScoringResult
+from repro.serving.costs import ServingCostModel
+from repro.simul import Environment, Event, Store
+
+
+@dataclasses.dataclass
+class _Deployment:
+    version: str
+    costs: ServingCostModel
+    requests_served: int = 0
+
+
+@dataclasses.dataclass
+class _RoutedRequest:
+    model: str
+    bsz: int
+    reply: Event
+
+
+class MultiModelServer:
+    """One serving endpoint hosting many model deployments."""
+
+    kind = "external"
+
+    def __init__(
+        self,
+        env: Environment,
+        workers: int = 2,
+        channel: RpcChannel | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServingError(f"need >= 1 worker, got {workers}")
+        self.env = env
+        self.channel = channel if channel is not None else GrpcChannel()
+        self._queue: Store = Store(env)
+        self._active: dict[str, _Deployment] = {}
+        self._started = False
+        self.workers = workers
+        self.rollouts_completed = 0
+
+    # -- management API -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for __ in range(self.workers):
+            self.env.process(self._worker())
+
+    def models(self) -> dict[str, str]:
+        """Deployed model name -> active version."""
+        return {name: dep.version for name, dep in self._active.items()}
+
+    def deploy(
+        self, name: str, version: str, costs: ServingCostModel
+    ) -> typing.Generator:
+        """Coroutine: warm-load ``version`` and switch traffic to it.
+
+        The previous version (if any) serves every request arriving while
+        the load is in progress; the switch itself is atomic.
+        """
+        self.start()
+        yield self.env.timeout(costs.load_time())
+        self._active[name] = _Deployment(version=version, costs=costs)
+        self.rollouts_completed += 1
+
+    def undeploy(self, name: str) -> None:
+        if name not in self._active:
+            raise ServingError(f"model {name!r} is not deployed")
+        del self._active[name]
+
+    # -- data path -------------------------------------------------------------
+
+    def _deployment(self, name: str) -> _Deployment:
+        try:
+            return self._active[name]
+        except KeyError:
+            raise ServingError(
+                f"model {name!r} is not deployed; have {sorted(self._active)}"
+            ) from None
+
+    def _worker(self) -> typing.Generator:
+        while True:
+            request: _RoutedRequest = yield self._queue.get()
+            # Route at service time: a rollout completing while the
+            # request queued means the new version serves it.
+            deployment = self._deployment(request.model)
+            model = deployment.costs.model
+            decode = self.channel.server_decode_cost(
+                request.bsz * model.input_values
+            )
+            yield self.env.timeout(decode)
+            yield self.env.timeout(
+                deployment.costs.apply_time(request.bsz, now=self.env.now)
+            )
+            encode = self.channel.server_encode_cost(
+                request.bsz * model.output_values
+            )
+            yield self.env.timeout(encode)
+            deployment.requests_served += 1
+            request.reply.succeed(deployment.version)
+
+    def score(self, name: str, bsz: int) -> typing.Generator:
+        """Coroutine (client side): one blocking scoring RPC for ``name``.
+
+        Returns ``(ScoringResult, version_that_served_it)``.
+        """
+        deployment = self._deployment(name)  # fail fast on unknown models
+        model = deployment.costs.model
+        costs = self.channel.round_trip_costs(
+            request_values=bsz * model.input_values,
+            response_values=bsz * model.output_values,
+        )
+        start = self.env.now
+        yield self.env.timeout(costs.client_cpu)
+        yield self.env.timeout(costs.request_transfer)
+        reply = Event(self.env)
+        yield self._queue.put(_RoutedRequest(model=name, bsz=bsz, reply=reply))
+        version = yield reply
+        yield self.env.timeout(costs.response_transfer)
+        result = ScoringResult(
+            points=bsz,
+            output_values=bsz * model.output_values,
+            service_time=self.env.now - start,
+        )
+        return result, version

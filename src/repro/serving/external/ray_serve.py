@@ -1,0 +1,32 @@
+"""Ray Serve (§3.4.4).
+
+Ray's serving library, queried over HTTP with JSON payloads (the paper
+avoids its then-experimental gRPC ingress). Ray Serve deploys a single
+HTTP proxy per node that forwards requests to replicas; that proxy is a
+serialized chokepoint, capping vertical scalability at ~455 ev/s in
+Fig. 11 no matter how many replicas exist.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration as cal
+from repro.netsim import HttpChannel
+from repro.serving.costs import ServingCostModel
+from repro.serving.external.server import ExternalServingService
+from repro.simul import Environment, Resource
+
+
+class RayServeTool(ExternalServingService):
+    """Ray Serve: HTTP ingress via one proxy, then replica workers."""
+
+    def __init__(self, env: Environment, costs: ServingCostModel) -> None:
+        super().__init__(env, costs, channel=HttpChannel())
+        self._proxy = Resource(env, capacity=1)
+
+    def _pre_dispatch(self) -> typing.Generator:
+        """Every request crosses the node's single HTTP proxy."""
+        with self._proxy.request() as slot:
+            yield slot
+            yield self.env.timeout(cal.RAY_SERVE_PROXY_COST)

@@ -1,0 +1,115 @@
+"""External serving: a standalone inference microservice.
+
+The service owns a request queue drained by ``mp`` worker processes on a
+dedicated host (the paper's 16-vCPU serving VM). Clients — SPS scoring
+tasks — block on the full round trip: request encoding, LAN transfer,
+server-side queueing + decode + inference + encode, and the response
+transfer back (§3.4.3; all calls are blocking per §4.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.netsim import RpcChannel
+from repro.serving.base import ScoringResult, ServingTool
+from repro.serving.costs import ServingCostModel
+from repro.simul import Environment, Event, Resource, Store
+
+
+@dataclasses.dataclass
+class _Request:
+    bsz: int
+    reply: Event
+    vectorized: bool = False
+
+
+class ExternalServingService(ServingTool):
+    """A model server reachable over an RPC channel."""
+
+    kind = "external"
+
+    def __init__(
+        self,
+        env: Environment,
+        costs: ServingCostModel,
+        channel: RpcChannel,
+    ) -> None:
+        super().__init__(env, costs)
+        self.channel = channel
+        self._queue: Store = Store(env)
+        # Engine-level concurrency cap (e.g. TF-Serving executes large
+        # models in a single session; Fig. 7).
+        self._engine = Resource(env, capacity=costs.engine_concurrency)
+        self._workers_started = False
+
+    # -- server side -----------------------------------------------------
+
+    def load(self) -> typing.Generator:
+        yield from super().load()
+        self._start_workers()
+
+    def _start_workers(self) -> None:
+        if self._workers_started:
+            return
+        self._workers_started = True
+        for __ in range(self.costs.mp):
+            self.env.process(self._worker())
+
+    def _worker(self) -> typing.Generator:
+        model = self.costs.model
+        while True:
+            request: _Request = yield self._queue.get()
+            decode = self.channel.server_decode_cost(
+                request.bsz * model.input_values
+            )
+            yield self.env.timeout(decode)
+            # Inference proper runs under the engine's concurrency cap
+            # (e.g. TF-Serving executes large models in one session).
+            with self._engine.request() as slot:
+                yield slot
+                yield self.env.timeout(
+                    self.costs.apply_time(
+                        request.bsz,
+                        vectorized=request.vectorized,
+                        now=self.env.now,
+                    )
+                )
+            encode = self.channel.server_encode_cost(
+                request.bsz * model.output_values
+            )
+            yield self.env.timeout(encode)
+            request.reply.succeed()
+            self.requests_served += 1
+
+    # -- client side -------------------------------------------------------
+
+    def _pre_dispatch(self) -> typing.Generator:
+        """Hook for ingress costs paid before a request reaches a worker
+        (Ray Serve's single HTTP proxy overrides this)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def score(self, bsz: int, vectorized: bool = False) -> typing.Generator:
+        """Coroutine run by the SPS scoring task: one blocking RPC."""
+        self._require_loaded()
+        start = self.env.now
+        model = self.costs.model
+        costs = self.channel.round_trip_costs(
+            request_values=bsz * model.input_values,
+            response_values=bsz * model.output_values,
+        )
+        # Client-side CPU: stub call + request encode + response decode.
+        yield self.env.timeout(costs.client_cpu)
+        yield self.env.timeout(costs.request_transfer)
+        yield from self._pre_dispatch()
+        reply = Event(self.env)
+        yield self._queue.put(_Request(bsz=bsz, reply=reply, vectorized=vectorized))
+        yield reply
+        yield self.env.timeout(costs.response_transfer)
+        return ScoringResult(
+            points=bsz,
+            output_values=bsz * model.output_values,
+            service_time=self.env.now - start,
+        )

@@ -1,0 +1,29 @@
+"""TensorFlow Serving (§3.4.3).
+
+Google's production model server, queried over gRPC with binary tensors.
+The fastest external option for small models (Table 4) thanks to
+off-the-shelf CPU optimizations — close to, and under some batch sizes
+below, embedded latencies (Fig. 5). For large models it executes in one
+session, so it barely gains from extra workers (Fig. 7).
+"""
+
+from repro.netsim import GrpcChannel, RpcChannel
+from repro.serving.costs import ServingCostModel
+from repro.serving.external.server import ExternalServingService
+from repro.simul import Environment
+
+
+class TfServingTool(ExternalServingService):
+    """TensorFlow Serving behind its gRPC PredictionService API."""
+
+    def __init__(
+        self,
+        env: Environment,
+        costs: ServingCostModel,
+        channel: RpcChannel | None = None,
+    ) -> None:
+        # gRPC by default (the paper's choice, §4.3); pass an HttpChannel
+        # to exercise the REST API instead.
+        super().__init__(
+            env, costs, channel=channel if channel is not None else GrpcChannel()
+        )

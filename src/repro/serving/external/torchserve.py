@@ -1,0 +1,29 @@
+"""TorchServe (§3.4.3).
+
+PyTorch's model server, queried over gRPC. Requests pass through Python
+handler code, giving it the highest per-request overhead of the external
+tools (Table 4: 225 ev/s vs TF-Serving's 617), but its process-per-worker
+design keeps scaling for large models where TF-Serving flattens
+(Fig. 7: TorchServe overtakes TF-Serving past mp=8).
+"""
+
+from repro.netsim import GrpcChannel, RpcChannel
+from repro.serving.costs import ServingCostModel
+from repro.serving.external.server import ExternalServingService
+from repro.simul import Environment
+
+
+class TorchServeTool(ExternalServingService):
+    """TorchServe behind its gRPC inference API."""
+
+    def __init__(
+        self,
+        env: Environment,
+        costs: ServingCostModel,
+        channel: RpcChannel | None = None,
+    ) -> None:
+        # gRPC by default (the paper's choice, §4.3); pass an HttpChannel
+        # to exercise the REST API instead.
+        super().__init__(
+            env, costs, channel=channel if channel is not None else GrpcChannel()
+        )

@@ -1,0 +1,70 @@
+"""Factory wiring serving tools from experiment configuration."""
+
+from __future__ import annotations
+
+from repro import calibration as cal
+from repro.errors import ConfigError
+from repro.nn.zoo import model_info
+from repro.serving.base import ServingTool
+from repro.serving.costs import ServingCostModel
+from repro.serving.embedded import Dl4jTool, OnnxRuntimeTool, SavedModelTool
+from repro.serving.external import RayServeTool, TfServingTool, TorchServeTool
+from repro.simul import Environment, RandomStreams
+
+_TOOL_CLASSES: dict[str, type[ServingTool]] = {
+    "onnx": OnnxRuntimeTool,
+    "dl4j": Dl4jTool,
+    "savedmodel": SavedModelTool,
+    "tf_serving": TfServingTool,
+    "torchserve": TorchServeTool,
+    "ray_serve": RayServeTool,
+}
+
+
+def create_serving_tool(
+    name: str,
+    env: Environment,
+    model: str,
+    mp: int = 1,
+    gpu: bool = False,
+    rng: RandomStreams | None = None,
+    server_workers: int | None = None,
+    protocol: str | None = None,
+) -> ServingTool:
+    """Build the named serving tool bound to a model and parallelism.
+
+    ``server_workers`` decouples the external server's worker pool from
+    the SPS-side parallelism ``mp`` (the paper's default keeps them equal;
+    §9 flags non-uniform allocation as open work). ``protocol`` overrides
+    the wire API for the gRPC servers: "rest" queries TF-Serving /
+    TorchServe through their JSON REST endpoints instead (§3.4.3 notes
+    both exist; the paper used gRPC).
+    """
+    try:
+        tool_cls = _TOOL_CLASSES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown serving tool {name!r}; have {sorted(_TOOL_CLASSES)}"
+        ) from None
+    profile = cal.SERVING_PROFILES[name]
+    is_external = name in ("tf_serving", "torchserve", "ray_serve")
+    if server_workers is not None and not is_external:
+        raise ConfigError("server_workers only applies to external serving tools")
+    engine_parallelism = server_workers if (is_external and server_workers) else mp
+    costs = ServingCostModel(
+        profile=profile,
+        model=model_info(model),
+        mp=engine_parallelism,
+        gpu=gpu,
+        rng=rng,
+    )
+    if protocol is None:
+        return tool_cls(env, costs)
+    if protocol not in ("grpc", "rest"):
+        raise ConfigError(f"unknown protocol {protocol!r}; use 'grpc' or 'rest'")
+    if name not in ("tf_serving", "torchserve"):
+        raise ConfigError(f"protocol selection applies to gRPC servers, not {name!r}")
+    from repro.netsim import GrpcChannel, HttpChannel
+
+    channel = HttpChannel() if protocol == "rest" else GrpcChannel()
+    return tool_cls(env, costs, channel=channel)

@@ -1,0 +1,75 @@
+"""Historical-state store for models that read context at scoring time.
+
+The paper's §9 names GNNs as the model class Crayfish cannot yet serve:
+scoring one node requires its k-hop neighborhood fetched from historical
+data. This module models that substrate: an embedded key-value store
+(RocksDB-like) with a block cache — cache hits cost a memory lookup,
+misses pay storage latency. Reads from concurrent scorers share the
+store's I/O channel.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.simul import Environment, RandomStreams, Resource
+
+#: In-memory block-cache hit cost per key.
+CACHE_HIT_COST = 0.0008e-3  # 0.8 us
+#: Storage read per missed key (point lookup incl. index blocks).
+MISS_COST = 0.020e-3  # 20 us
+#: Default fraction of neighborhood keys found in the block cache.
+DEFAULT_HIT_RATIO = 0.8
+#: Concurrent I/O lanes of the store.
+IO_LANES = 4
+
+
+class StateStore:
+    """Simulated embedded KV store with a block cache."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hit_ratio: float = DEFAULT_HIT_RATIO,
+        hit_cost: float = CACHE_HIT_COST,
+        miss_cost: float = MISS_COST,
+        io_lanes: int = IO_LANES,
+        rng: RandomStreams | None = None,
+    ) -> None:
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise ValueError(f"hit_ratio must be in [0, 1], got {hit_ratio}")
+        if io_lanes < 1:
+            raise ValueError(f"io_lanes must be >= 1, got {io_lanes}")
+        self.env = env
+        self.hit_ratio = hit_ratio
+        self.hit_cost = hit_cost
+        self.miss_cost = miss_cost
+        self.rng = rng
+        self._io = Resource(env, capacity=io_lanes)
+        self.keys_read = 0
+        self.keys_missed = 0
+
+    def _misses(self, n_keys: int) -> int:
+        if self.rng is None:
+            return round(n_keys * (1.0 - self.hit_ratio))
+        draw = self.rng.stream("state-store").binomial(n_keys, 1.0 - self.hit_ratio)
+        return int(draw)
+
+    def read_many(self, n_keys: int) -> typing.Generator:
+        """Coroutine: read ``n_keys`` point lookups; returns miss count."""
+        if n_keys < 0:
+            raise ValueError(f"n_keys must be >= 0, got {n_keys}")
+        if n_keys == 0:
+            return 0
+        misses = self._misses(n_keys)
+        hits = n_keys - misses
+        # Cache hits burn CPU on the calling thread.
+        yield self.env.timeout(hits * self.hit_cost)
+        if misses:
+            # Storage reads go through the store's bounded I/O lanes.
+            with self._io.request() as lane:
+                yield lane
+                yield self.env.timeout(misses * self.miss_cost)
+        self.keys_read += n_keys
+        self.keys_missed += misses
+        return misses

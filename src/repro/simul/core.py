@@ -1,0 +1,110 @@
+"""The simulation environment: clock, event heap, run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimulationError
+from repro.simul.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.simul.process import Process
+
+
+INFINITY = float("inf")
+
+
+class Environment:
+    """Owns simulated time and the pending-event heap.
+
+    Determinism: events scheduled for the same time fire in (priority,
+    insertion order). There is no wall-clock anywhere in the kernel.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- scheduling --------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue ``event`` to be processed ``delay`` time units from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else INFINITY
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            self._now, __, __, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no more events") from None
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks:
+            # A failed event nobody was waiting on (e.g. a crashed process
+            # without a watcher): surface the error rather than drop it.
+            raise typing.cast(BaseException, event._value)
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run until the given time, event, or event-queue exhaustion.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered or stop.callbacks is not None:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            if not stop.ok:
+                raise typing.cast(BaseException, stop._value)
+            return stop.value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"cannot run backwards: until={deadline} < now={self._now}"
+            )
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    # -- factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        return AllOf(self, events)

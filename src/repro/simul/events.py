@@ -1,0 +1,146 @@
+"""Event primitives for the simulation kernel."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.core import Environment
+
+#: Sentinel for "event has not been given a value yet".
+PENDING = object()
+
+#: Scheduling priorities. Lower fires first at equal times.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A condition that may fire once at some simulated time.
+
+    Callbacks receive the event itself. After the event has been
+    processed, :attr:`value` holds the payload passed to :meth:`succeed`
+    (or the exception passed to :meth:`fail`).
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list | None = []
+        self._value: object = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: object = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority)
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class _Condition(Event):
+    """Base for events that fire when some subset of child events fired."""
+
+    def __init__(self, env: "Environment", events: typing.Sequence[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        # Only events already *processed* count as "happened"; a Timeout
+        # carries its value from creation, so `triggered` would wrongly
+        # include the future.
+        return {e: e.value for e in self._events if e.processed and e.ok}
+
+
+class AnyOf(_Condition):
+    """Fires when the first of the given events fires."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(typing.cast(BaseException, event._value))
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once all of the given events have fired."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(typing.cast(BaseException, event._value))
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())

@@ -1,0 +1,64 @@
+"""Instrumentation probes recorded in simulated time."""
+
+from __future__ import annotations
+
+import bisect
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.core import Environment
+
+
+class Counter:
+    """A monotonically increasing event counter with rate queries."""
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.total = 0
+        self._times: list[float] = []
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter only counts upward")
+        self.total += amount
+        self._times.extend([self.env.now] * amount)
+
+    def count_between(self, start: float, end: float) -> int:
+        """Number of increments with ``start <= t < end``."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return hi - lo
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Average increments per time unit over ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        return self.count_between(start, end) / (end - start)
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` samples, e.g. per-batch latencies."""
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def record(self, value: float) -> None:
+        self.times.append(self.env.now)
+        self.values.append(value)
+
+    def window(self, start: float, end: float) -> "list[tuple[float, float]]":
+        """Samples with ``start <= t < end``."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        return list(zip(self.times[lo:hi], self.values[lo:hi]))
+
+    def values_after(self, start: float) -> list[float]:
+        lo = bisect.bisect_left(self.times, start)
+        return self.values[lo:]

@@ -1,0 +1,118 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.simul.events import Event, NORMAL, URGENT
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.core import Environment
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Wraps a generator so it can be driven by the event loop.
+
+    The process itself is an event that fires when the generator returns
+    (its value is the generator's return value) or raises.
+    """
+
+    def __init__(self, env: "Environment", generator: typing.Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off the process at the current time via an initialisation
+        # event so processes never run code during their own construction.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        env.schedule(init, URGENT)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is self._pending_sentinel()
+
+    @staticmethod
+    def _pending_sentinel() -> object:
+        from repro.simul.events import PENDING
+
+        return PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a dead process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        # Detach from whatever we were waiting on so the original event
+        # no longer resumes us when it fires.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            # Neutralize abandoned requests: stores and resources skip
+            # already-triggered waiters, so a queued get/put/request left
+            # behind by the interrupt can never consume an item or slot.
+            if not self._target.triggered:
+                self._target.succeed(Interrupt(cause))
+        self._target = None
+        self.env.schedule(event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    exc = typing.cast(BaseException, event._value)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # The generator chose not to handle the interrupt; treat it
+                # as a normal termination failure.
+                self.env._active_process = None
+                self.fail(typing.cast(BaseException, event._value))
+                return
+            except BaseException as error:
+                self.env._active_process = None
+                self.fail(error)
+                return
+
+            if not isinstance(next_event, Event):
+                self.env._active_process = None
+                stop_error = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self._generator.close()
+                self.fail(stop_error)
+                return
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: park until it fires.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                self.env._active_process = None
+                return
+            # Event already processed: loop and feed its value immediately.
+            event = next_event

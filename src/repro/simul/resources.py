@@ -1,0 +1,174 @@
+"""Shared resources and queues for simulation processes.
+
+:class:`Resource` models a fixed number of identical servers (CPU slots,
+serving workers). :class:`Store` is a FIFO buffer with optional capacity,
+used for operator mailboxes, request queues, and broker fetch responses.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.errors import SimulationError
+from repro.simul.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.core import Environment
+
+
+class Request(Event):
+    """Pending acquisition of one resource slot. Usable as a context
+    manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            yield env.timeout(service_time)
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: collections.deque[Request] = collections.deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def _enqueue(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def release(self, request: Request) -> None:
+        """Return a slot; hands it to the longest-waiting request."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Request never got a slot (e.g. released while still queued).
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+            return
+        while self.queue:
+            waiter = self.queue.popleft()
+            if waiter.triggered:
+                continue  # cancelled/interrupted waiter
+            self.users.append(waiter)
+            waiter.succeed()
+            break
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: object) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class Store:
+    """FIFO item buffer.
+
+    ``capacity`` bounds the number of buffered items; a bounded store is
+    how backpressure is modelled — upstream ``put`` calls block until a
+    downstream ``get`` frees a slot.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: collections.deque[object] = collections.deque()
+        self._putters: collections.deque[StorePut] = collections.deque()
+        self._getters: collections.deque[StoreGet] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Current number of buffered items."""
+        return len(self.items)
+
+    def put(self, item: object) -> StorePut:
+        """Insert ``item``; the returned event fires once it is buffered."""
+        event = StorePut(self, item)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._dispatch_getters()
+        else:
+            self._putters.append(event)
+        return event
+
+    def try_put(self, item: object) -> bool:
+        """Non-blocking insert; returns False when the store is full."""
+        if len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        self._dispatch_getters()
+        return True
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event's value is the item."""
+        event = StoreGet(self)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._dispatch_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, object]:
+        """Non-blocking remove; returns ``(ok, item_or_None)``."""
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        self._dispatch_putters()
+        return True, item
+
+    def _dispatch_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(self.items.popleft())
+
+    def _dispatch_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            if putter.triggered:
+                continue
+            self.items.append(putter.item)
+            putter.succeed()
+            self._dispatch_getters()

@@ -1,0 +1,19 @@
+"""Stream-processor adapters (the paper's data-processor component).
+
+Four engines with deliberately different execution semantics (§3.4, Fig. 4):
+
+- :mod:`flink` -- push-based pipelined dataflow with operator chaining and
+  optional operator-level parallelism.
+- :mod:`kafka_streams` -- pull-based: each stream thread walks one event
+  through the whole DAG before polling the next.
+- :mod:`spark` -- micro-batch execution with a serialized driver.
+- :mod:`ray_actors` -- actor pipeline (input / scoring / output actor types).
+
+All engines implement the adapter interface of §3.2: an input operator, a
+scoring operator (embedded or external), and an output operator.
+"""
+
+from repro.sps.api import DataProcessor
+from repro.sps.registry import create_data_processor
+
+__all__ = ["DataProcessor", "create_data_processor"]

@@ -1,0 +1,117 @@
+"""The data-processor adapter interface (§3.2).
+
+Every engine consumes :class:`~repro.sps.gateways.InputEvent` objects from
+an input gateway, runs the scoring operator (an embedded library call or a
+blocking RPC to an external server), and emits results through an output
+gateway. Engines report each completed batch to a completion callback —
+the hook the metrics collector attaches to.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration as cal
+from repro.core.batch import CrayfishDataBatch
+from repro.netsim import json_payload
+from repro.serving.base import ServingTool
+from repro.simul import Environment
+from repro.sps.gateways import InputGateway, OutputGateway
+
+#: Called with (batch, end_timestamp) when a batch leaves the pipeline.
+CompletionCallback = typing.Callable[[CrayfishDataBatch, float], None]
+
+
+class DataProcessor:
+    """Base class for SPS adapters."""
+
+    name: str = ""
+    profile: cal.SpsProfile
+
+    def __init__(
+        self,
+        env: Environment,
+        tool: ServingTool,
+        input_gateway: InputGateway,
+        output_gateway: OutputGateway,
+        mp: int = 1,
+        on_complete: CompletionCallback | None = None,
+        output_values_per_point: int = 1,
+    ) -> None:
+        self.env = env
+        self.tool = tool
+        self.input = input_gateway
+        self.output = output_gateway
+        self.mp = mp
+        self.on_complete = on_complete
+        self.output_values_per_point = output_values_per_point
+        self.batches_completed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Load the model, then spawn the engine's task processes."""
+        self.env.process(self._bootstrap())
+
+    def _bootstrap(self) -> typing.Generator:
+        yield from self.tool.load()
+        self._spawn_tasks()
+
+    def _spawn_tasks(self) -> None:
+        raise NotImplementedError
+
+    # -- shared cost helpers -------------------------------------------------
+
+    @property
+    def slowdown(self) -> float:
+        """Process-wide slowdown when inference shares the SPS process.
+
+        Embedded serving contends with the engine for the host (JVM heap,
+        GC, memory bandwidth): the paper's Fig. 6 shows embedded tools
+        scaling sublinearly while external tools scale linearly. External
+        serving leaves the SPS at factor 1.
+        """
+        if self.tool.kind == "embedded":
+            return self.tool.costs.contention_factor
+        return 1.0
+
+    def decode_cost(self, batch: CrayfishDataBatch) -> float:
+        """Deserialization CPU for one input event."""
+        if not self.input.charges_serde:
+            return 0.0
+        return json_payload(batch.input_values).decode_cost
+
+    def output_payload(self, batch: CrayfishDataBatch):
+        """JSON payload of the scored result (predictions only)."""
+        values = batch.points * self.output_values_per_point
+        return json_payload(values)
+
+    def encode_cost(self, batch: CrayfishDataBatch) -> float:
+        if not self.output.charges_serde:
+            return 0.0
+        return self.output_payload(batch).encode_cost
+
+    def output_nbytes(self, batch: CrayfishDataBatch) -> float:
+        if not self.output.charges_serde:
+            return 0.0
+        return self.output_payload(batch).nbytes
+
+    def _complete(self, batch: CrayfishDataBatch, end_time: float) -> None:
+        self.batches_completed += 1
+        if self.on_complete is not None:
+            self.on_complete(batch, end_time)
+
+    def _emit(self, batch: CrayfishDataBatch) -> typing.Generator:
+        """Sink-side delivery; returns the end timestamp (blocking form)."""
+        end_time = yield from self.output.emit(batch, self.output_nbytes(batch))
+        return end_time
+
+    def emit_and_complete(self, batch: CrayfishDataBatch) -> None:
+        """Fire-and-forget produce: Kafka producers buffer and send
+        asynchronously, so the sink task never blocks on the broker round
+        trip. Completion is reported at append time (LogAppendTime)."""
+        self.env.process(self._emit_process(batch))
+
+    def _emit_process(self, batch: CrayfishDataBatch) -> typing.Generator:
+        end_time = yield from self._emit(batch)
+        self._complete(batch, end_time)

@@ -1,0 +1,5 @@
+"""Apache Flink adapter."""
+
+from repro.sps.flink.engine import FlinkProcessor
+
+__all__ = ["FlinkProcessor"]

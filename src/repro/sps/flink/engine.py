@@ -1,0 +1,184 @@
+"""Apache Flink (§3.4.1): push-based pipelined dataflow.
+
+Two deployment shapes, matching §6.1:
+
+- **Default parallelism** ``flink[N-N-N]``: operator chaining is on, so
+  each of the N task slots runs source -> scoring -> sink serially for
+  every event (one JVM thread, no handoffs). This is the configuration of
+  all headline experiments.
+- **Operator-level parallelism** ``flink[S-P-K]`` (chaining disabled):
+  S source tasks, P scoring tasks, and K sink tasks connected by bounded
+  exchange queues — Flink's network buffer pools — so stages pipeline and
+  backpressure propagates through full buffers (Fig. 12).
+
+Large records that exceed Flink's 32 KB network-buffer quota pay a
+per-buffer handling cost in the source, which is why Flink loses its
+latency edge to Kafka Streams at bsz=512 (Fig. 10, §5.3.2).
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro import calibration as cal
+from repro.sps.api import DataProcessor
+from repro.sps.gateways import InputEvent
+from repro.simul import Resource, Store
+
+#: Capacity of each inter-stage exchange queue (buffer pool slots).
+EXCHANGE_CAPACITY = 64
+
+
+class FlinkProcessor(DataProcessor):
+    """The Flink data-processor adapter."""
+
+    name = "flink"
+    profile = cal.FLINK_PROFILE
+
+    def __init__(
+        self,
+        *args: typing.Any,
+        operator_parallelism: tuple[int, int, int] | None = None,
+        async_io: int = 0,
+        scoring_window: int = 0,
+        **kwargs: typing.Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.operator_parallelism = operator_parallelism
+        # Flink's Async I/O operator (§4.3 disabled it for fairness; we
+        # implement it as an ablation): each scoring task may keep up to
+        # ``async_io`` external requests in flight instead of blocking.
+        if async_io < 0:
+            raise ValueError(f"async_io must be >= 0, got {async_io}")
+        if async_io and self.tool.kind != "external":
+            raise ValueError("async I/O only applies to external serving")
+        self.async_io = async_io
+        # §7.1 "Micro-batching Support for External Servers": a count
+        # window in front of the scoring operator groups up to
+        # ``scoring_window`` events into one inference call, flushing
+        # early when the stream idles (so low rates keep low latency).
+        if scoring_window < 0:
+            raise ValueError(f"scoring_window must be >= 0, got {scoring_window}")
+        if scoring_window == 1:
+            scoring_window = 0  # a window of one is the default path
+        self.scoring_window = scoring_window
+        if self.scoring_window and self.async_io:
+            raise ValueError("scoring_window and async_io do not combine")
+
+    def _spawn_tasks(self) -> None:
+        if self.operator_parallelism is None:
+            for task in range(self.mp):
+                self.env.process(self._chained_task(task, self.mp))
+        else:
+            sources, scorers, sinks = self.operator_parallelism
+            score_queue = Store(self.env, capacity=EXCHANGE_CAPACITY)
+            sink_queue = Store(self.env, capacity=EXCHANGE_CAPACITY)
+            for task in range(sources):
+                self.env.process(self._source_task(task, sources, score_queue))
+            for __ in range(scorers):
+                self.env.process(self._scoring_task(score_queue, sink_queue))
+            for __ in range(sinks):
+                self.env.process(self._sink_task(sink_queue))
+
+    # -- operator bodies ---------------------------------------------------
+
+    def _buffer_penalty(self, nbytes: float) -> float:
+        """Per-buffer handling for records spanning many network buffers."""
+        if nbytes <= cal.FLINK_BUFFER_BYTES:
+            return 0.0
+        extra_buffers = math.ceil(nbytes / cal.FLINK_BUFFER_BYTES) - 1
+        return extra_buffers * cal.FLINK_PER_BUFFER_COST
+
+    def _source_cost(self, event: InputEvent) -> float:
+        return (
+            self.profile.source_overhead
+            + self.decode_cost(event.batch)
+            + self._buffer_penalty(event.nbytes)
+        ) * self.slowdown
+
+    def _score(self, event: InputEvent) -> typing.Generator:
+        yield self.env.timeout(self.profile.score_overhead * self.slowdown)
+        yield from self.tool.score(event.batch.points)
+
+    def _sink(self, event: InputEvent) -> typing.Generator:
+        batch = event.batch
+        yield self.env.timeout(
+            (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
+        )
+        self.emit_and_complete(batch)
+
+    # -- task loops ----------------------------------------------------------
+
+    def _chained_task(self, member: int, members: int) -> typing.Generator:
+        """source -> scoring -> sink fused into one task thread."""
+        if self.scoring_window:
+            yield from self._windowed_task(member, members)
+            return
+        source = self.input.make_source(member, members)
+        inflight = Resource(self.env, capacity=self.async_io) if self.async_io else None
+        while True:
+            events = yield from source.poll()
+            for event in events:
+                yield self.env.timeout(self._source_cost(event))
+                if inflight is None:
+                    yield from self._score(event)
+                    yield from self._sink(event)
+                else:
+                    # Async I/O: park the request with a capacity-bounded
+                    # in-flight window; the task moves on to the next event.
+                    slot = inflight.request()
+                    yield slot
+                    self.env.process(self._async_round_trip(event, inflight, slot))
+
+    def _windowed_task(self, member: int, members: int) -> typing.Generator:
+        """Chained task with a count window before the scoring operator.
+
+        Events group into one inference call of up to ``scoring_window``
+        events; a partial window flushes as soon as the source has no
+        more data ready, so idle streams never wait on a timer.
+        """
+        source = self.input.make_source(member, members)
+        window: list[InputEvent] = []
+        while True:
+            events = yield from source.poll()
+            for event in events:
+                yield self.env.timeout(self._source_cost(event))
+                window.append(event)
+                if len(window) >= self.scoring_window:
+                    yield from self._flush_window(window)
+                    window = []
+            if window and source.lag() == 0:
+                yield from self._flush_window(window)
+                window = []
+
+    def _flush_window(self, window: list[InputEvent]) -> typing.Generator:
+        yield self.env.timeout(self.profile.score_overhead * self.slowdown)
+        total_points = sum(event.batch.points for event in window)
+        yield from self.tool.score(total_points)
+        for event in window:
+            yield from self._sink(event)
+
+    def _async_round_trip(self, event: InputEvent, inflight: Resource, slot) -> typing.Generator:
+        yield from self._score(event)
+        inflight.release(slot)
+        yield from self._sink(event)
+
+    def _source_task(self, member: int, members: int, downstream: Store) -> typing.Generator:
+        source = self.input.make_source(member, members)
+        while True:
+            events = yield from source.poll()
+            for event in events:
+                yield self.env.timeout(self._source_cost(event))
+                yield downstream.put(event)  # blocks when buffers are full
+
+    def _scoring_task(self, upstream: Store, downstream: Store) -> typing.Generator:
+        while True:
+            event = yield upstream.get()
+            yield from self._score(event)
+            yield downstream.put(event)
+
+    def _sink_task(self, upstream: Store) -> typing.Generator:
+        while True:
+            event = yield upstream.get()
+            yield from self._sink(event)

@@ -1,0 +1,188 @@
+"""Checkpointing, failure injection, and delivery guarantees for Flink.
+
+The paper's §7.2 argues that processing guarantees — fault tolerance,
+exactly-once — are where embedded serving retains an edge, because
+external inference calls are side effects the SPS cannot roll back. This
+module makes that claim measurable:
+
+- **Checkpointing**: a coordinator snapshots every task's Kafka offsets
+  each ``interval`` seconds (Flink's aligned checkpoints; the barrier
+  pause is charged to the task).
+- **Failure injection**: at configured times, all tasks are killed; after
+  ``recovery_time`` (process restart + model reload) the job resumes from
+  the last completed checkpoint, re-reading everything after it.
+- **Delivery guarantees**:
+  - ``at_least_once``: the sink emits immediately; replayed events appear
+    twice downstream, and external servers see duplicate inference
+    requests (the paper's "weaker fault-tolerance guarantees" for
+    external serving).
+  - ``exactly_once``: the sink writes into a Kafka transaction that only
+    commits with the next checkpoint; an aborted transaction discards
+    uncommitted output, so downstream sees each batch once — at the cost
+    of commit-quantized latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.batch import CrayfishDataBatch
+from repro.errors import ConfigError
+from repro.simul import Interrupt, Process
+from repro.sps.flink.engine import FlinkProcessor
+from repro.sps.gateways import InputEvent
+
+AT_LEAST_ONCE = "at_least_once"
+EXACTLY_ONCE = "exactly_once"
+GUARANTEES = (AT_LEAST_ONCE, EXACTLY_ONCE)
+
+#: Task pause while taking an (asynchronous) state snapshot.
+SNAPSHOT_PAUSE = 0.002
+#: Fixed coordinator cost to finalize a checkpoint.
+CHECKPOINT_COMMIT_COST = 0.005
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Checkpointing + failure-injection plan for one run."""
+
+    checkpoint_interval: float = 1.0
+    guarantee: str = AT_LEAST_ONCE
+    #: Simulated times at which the whole job crashes.
+    failure_times: tuple[float, ...] = ()
+    #: Downtime per failure: restart, state restore, model reload.
+    recovery_time: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval <= 0:
+            raise ConfigError("checkpoint_interval must be positive")
+        if self.guarantee not in GUARANTEES:
+            raise ConfigError(
+                f"guarantee must be one of {GUARANTEES}, got {self.guarantee!r}"
+            )
+        if self.recovery_time < 0:
+            raise ConfigError("recovery_time must be non-negative")
+        if any(t <= 0 for t in self.failure_times):
+            raise ConfigError("failure times must be positive")
+
+
+class CheckpointedFlinkProcessor(FlinkProcessor):
+    """Flink with checkpoints, crash recovery, and sink guarantees.
+
+    Supports the default (chained) deployment used by all headline
+    experiments; operator-level parallelism and async I/O are orthogonal
+    features not combined with fault tolerance here.
+    """
+
+    def __init__(
+        self,
+        *args: typing.Any,
+        fault_tolerance: FaultToleranceConfig,
+        **kwargs: typing.Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if self.operator_parallelism is not None:
+            raise ConfigError("fault tolerance supports chained deployments only")
+        if self.async_io:
+            raise ConfigError("fault tolerance does not combine with async I/O")
+        self.ft = fault_tolerance
+        self.checkpoints_completed = 0
+        self.failures_injected = 0
+        self.restarts = 0
+        # Live task bookkeeping (rebuilt after every restart).
+        self._tasks: list[Process] = []
+        self._sources: list = []
+        #: Offsets of the last *completed* checkpoint, per task.
+        self._committed_offsets: list[dict[int, int]] = []
+        #: Exactly-once: outputs buffered in the open transaction, per task.
+        self._txn_buffers: list[list[CrayfishDataBatch]] = []
+        self._epoch = 0  # increments on every restart
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn_tasks(self) -> None:
+        self._start_job(initial=True)
+        self.env.process(self._checkpoint_coordinator())
+        for failure_time in sorted(self.ft.failure_times):
+            self.env.process(self._failure_injector(failure_time))
+
+    def _start_job(self, initial: bool) -> None:
+        self._tasks = []
+        self._sources = []
+        self._txn_buffers = [[] for __ in range(self.mp)]
+        if initial:
+            self._committed_offsets = [{} for __ in range(self.mp)]
+        for task_index in range(self.mp):
+            source = self.input.make_source(task_index, self.mp)
+            # Restore: rewind the fresh source to the committed offsets.
+            if self._committed_offsets[task_index]:
+                source.seek(self._committed_offsets[task_index])
+            self._sources.append(source)
+            process = self.env.process(self._ft_task(task_index, source))
+            self._tasks.append(process)
+
+    def _ft_task(self, task_index: int, source) -> typing.Generator:
+        try:
+            while True:
+                events = yield from source.poll()
+                for event in events:
+                    yield self.env.timeout(self._source_cost(event))
+                    yield from self._score(event)
+                    yield from self._ft_sink(task_index, event)
+        except Interrupt:
+            return  # crashed; the injector handles restart
+
+    def _ft_sink(self, task_index: int, event: InputEvent) -> typing.Generator:
+        batch = event.batch
+        yield self.env.timeout(
+            (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
+        )
+        if self.ft.guarantee == EXACTLY_ONCE:
+            # Written into the open Kafka transaction: invisible downstream
+            # until the next checkpoint commits it.
+            self._txn_buffers[task_index].append(batch)
+        else:
+            self.emit_and_complete(batch)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _checkpoint_coordinator(self) -> typing.Generator:
+        while True:
+            yield self.env.timeout(self.ft.checkpoint_interval)
+            if not self._tasks or not all(t.is_alive for t in self._tasks):
+                continue  # job is down; skip this checkpoint
+            epoch = self._epoch
+            yield self.env.timeout(SNAPSHOT_PAUSE + CHECKPOINT_COMMIT_COST)
+            if epoch != self._epoch:
+                continue  # a failure raced the checkpoint: it never completes
+            for task_index, source in enumerate(self._sources):
+                self._committed_offsets[task_index] = source.position()
+            if self.ft.guarantee == EXACTLY_ONCE:
+                for task_index in range(self.mp):
+                    buffered, self._txn_buffers[task_index] = (
+                        self._txn_buffers[task_index],
+                        [],
+                    )
+                    for batch in buffered:
+                        self.emit_and_complete(batch)
+            self.checkpoints_completed += 1
+
+    # -- failures ---------------------------------------------------------------
+
+    def _failure_injector(self, failure_time: float) -> typing.Generator:
+        yield self.env.timeout(failure_time)
+        if not self._tasks:
+            return
+        self.failures_injected += 1
+        self._epoch += 1
+        for task in self._tasks:
+            if task.is_alive:
+                task.interrupt("injected failure")
+        # Open transactions abort: their output is never seen downstream.
+        self._txn_buffers = [[] for __ in range(self.mp)]
+        self._tasks = []
+        yield self.env.timeout(self.ft.recovery_time)
+        yield from self.tool.load()  # the model is reloaded on restart
+        self.restarts += 1
+        self._start_job(initial=False)

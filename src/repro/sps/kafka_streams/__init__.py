@@ -1,0 +1,5 @@
+"""Kafka Streams adapter."""
+
+from repro.sps.kafka_streams.engine import KafkaStreamsProcessor
+
+__all__ = ["KafkaStreamsProcessor"]

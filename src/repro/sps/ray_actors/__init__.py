@@ -1,0 +1,5 @@
+"""Ray actor-pipeline adapter."""
+
+from repro.sps.ray_actors.engine import RayProcessor
+
+__all__ = ["RayProcessor"]

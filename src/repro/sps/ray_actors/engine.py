@@ -1,0 +1,76 @@
+"""Ray (§3.4.4): an actor pipeline standing in for a dataflow graph.
+
+``mp`` input actors, ``mp`` scoring actors, and ``mp`` output actors are
+chained one-to-one (§4.3). Every message delivery pays Python actor
+overhead (mailbox, scheduling, GIL), and all scoring-stage deliveries
+additionally cross the node's serialized scheduler — the mechanism behind
+Ray's low per-event throughput (Table 5: 157 ev/s) and its ~1.2k ev/s
+plateau when scaling up (Fig. 11). Being Python-native, Ray needs no
+interoperability library for embedded scoring; latency at low rates is
+competitive with the JVM engines (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration as cal
+from repro.sps.api import DataProcessor
+from repro.sps.gateways import InputEvent
+from repro.simul import Resource, Store
+
+#: Actor mailbox capacity: puts block when a downstream actor lags.
+MAILBOX_CAPACITY = 16
+
+
+class RayProcessor(DataProcessor):
+    """The Ray data-processor adapter (actor pipeline)."""
+
+    name = "ray"
+    profile = cal.RAY_PROFILE
+
+    def _spawn_tasks(self) -> None:
+        # One serialized per-node scheduler shared by all actors.
+        self._node = Resource(self.env, capacity=1)
+        for lane in range(self.mp):
+            score_box: Store = Store(self.env, capacity=MAILBOX_CAPACITY)
+            out_box: Store = Store(self.env, capacity=MAILBOX_CAPACITY)
+            self.env.process(self._input_actor(lane, self.mp, score_box))
+            self.env.process(self._scoring_actor(score_box, out_box))
+            self.env.process(self._output_actor(out_box))
+
+    def _input_actor(self, member: int, members: int, downstream: Store) -> typing.Generator:
+        source = self.input.make_source(member, members)
+        while True:
+            events = yield from source.poll()
+            for event in events:
+                yield self.env.timeout(
+                    cal.RAY_ACTOR_OVERHEAD
+                    + self.profile.source_overhead
+                    + self.decode_cost(event.batch)
+                )
+                yield downstream.put(event)
+
+    def _scoring_actor(self, upstream: Store, downstream: Store) -> typing.Generator:
+        while True:
+            event = yield upstream.get()
+            yield self.env.timeout(
+                cal.RAY_ACTOR_OVERHEAD + self.profile.score_overhead
+            )
+            # Delivery into the scoring stage crosses the node scheduler.
+            with self._node.request() as slot:
+                yield slot
+                yield self.env.timeout(cal.RAY_NODE_PER_MESSAGE)
+            yield from self.tool.score(event.batch.points)
+            yield downstream.put(event)
+
+    def _output_actor(self, upstream: Store) -> typing.Generator:
+        while True:
+            event: InputEvent = yield upstream.get()
+            batch = event.batch
+            yield self.env.timeout(
+                cal.RAY_ACTOR_OVERHEAD
+                + self.profile.sink_overhead
+                + self.encode_cost(batch)
+            )
+            self.emit_and_complete(batch)

@@ -1,0 +1,77 @@
+"""Registry and factory for data-processor adapters."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ConfigError
+from repro.serving.base import ServingTool
+from repro.simul import Environment
+from repro.sps.api import CompletionCallback, DataProcessor
+from repro.sps.flink import FlinkProcessor
+from repro.sps.flink.fault_tolerance import (
+    CheckpointedFlinkProcessor,
+    FaultToleranceConfig,
+)
+from repro.sps.gateways import InputGateway, OutputGateway
+from repro.sps.kafka_streams import KafkaStreamsProcessor
+from repro.sps.ray_actors import RayProcessor
+from repro.sps.spark import SparkProcessor
+
+ENGINES: dict[str, type[DataProcessor]] = {
+    "flink": FlinkProcessor,
+    "kafka_streams": KafkaStreamsProcessor,
+    "spark_ss": SparkProcessor,
+    "ray": RayProcessor,
+}
+
+
+def create_data_processor(
+    name: str,
+    env: Environment,
+    tool: ServingTool,
+    input_gateway: InputGateway,
+    output_gateway: OutputGateway,
+    mp: int = 1,
+    on_complete: CompletionCallback | None = None,
+    output_values_per_point: int = 1,
+    operator_parallelism: tuple[int, int, int] | None = None,
+    async_io: int = 0,
+    scoring_window: int = 0,
+    fault_tolerance: "FaultToleranceConfig | None" = None,
+) -> DataProcessor:
+    """Build the named engine wired to a serving tool and gateways."""
+    try:
+        engine_cls = ENGINES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown stream processor {name!r}; have {sorted(ENGINES)}"
+        ) from None
+    kwargs: dict[str, typing.Any] = {}
+    if operator_parallelism is not None:
+        if engine_cls is not FlinkProcessor:
+            raise ConfigError("operator_parallelism is Flink-only")
+        kwargs["operator_parallelism"] = operator_parallelism
+    if async_io:
+        if engine_cls is not FlinkProcessor:
+            raise ConfigError("async_io is Flink-only")
+        kwargs["async_io"] = async_io
+    if scoring_window:
+        if engine_cls is not FlinkProcessor:
+            raise ConfigError("scoring_window is Flink-only")
+        kwargs["scoring_window"] = scoring_window
+    if fault_tolerance is not None:
+        if engine_cls is not FlinkProcessor:
+            raise ConfigError("fault tolerance is Flink-only")
+        engine_cls = CheckpointedFlinkProcessor
+        kwargs["fault_tolerance"] = fault_tolerance
+    return engine_cls(
+        env,
+        tool,
+        input_gateway,
+        output_gateway,
+        mp=mp,
+        on_complete=on_complete,
+        output_values_per_point=output_values_per_point,
+        **kwargs,
+    )

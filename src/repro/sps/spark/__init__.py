@@ -1,0 +1,5 @@
+"""Spark Structured Streaming adapter."""
+
+from repro.sps.spark.engine import SparkProcessor
+
+__all__ = ["SparkProcessor"]

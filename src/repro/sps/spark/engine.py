@@ -1,0 +1,91 @@
+"""Spark Structured Streaming (§3.4.1): micro-batch execution.
+
+A serialized driver loop drains whatever arrived since the last trigger,
+pays a fixed planning/commit overhead plus per-event bookkeeping, splits
+the micro-batch into ``mp`` chunks, and runs the chunks in parallel on
+executor cores. Within a chunk, Tungsten's columnar decode is cheaper
+than row-at-a-time JSON parsing, and inference is issued as *one* batched
+call per chunk — which is exactly why Spark saturates external servers
+(§5.3, Fig. 11) and posts the highest throughput of the studied SPSs
+(Table 5) while paying the worst latency (trigger waits, Fig. 10).
+
+The driver's serialized per-event work caps throughput at a flat ceiling
+regardless of ``mp`` (Fig. 11: ~23k ev/s at every parallelism).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration as cal
+from repro.netsim.link import LAN
+from repro.sps.api import DataProcessor
+from repro.sps.gateways import InputEvent
+from repro.simul import Resource
+
+
+class SparkProcessor(DataProcessor):
+    """The Spark Structured Streaming data-processor adapter."""
+
+    name = "spark_ss"
+    profile = cal.SPARK_PROFILE
+
+    def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.triggers_fired = 0
+
+    def _spawn_tasks(self) -> None:
+        self._inflight = Resource(self.env, capacity=cal.SPARK_INFLIGHT_TRIGGERS)
+        self.env.process(self._driver_loop())
+
+    def _driver_loop(self) -> typing.Generator:
+        source = self.input.make_source(0, 1)
+        while True:
+            # The driver only *plans* the micro-batch (offset ranges);
+            # executors pull the record data from the brokers themselves.
+            events = yield from source.poll(
+                max_records=cal.SPARK_MAX_BATCH_EVENTS, data_transfer=False
+            )
+            # Trigger: planning + commit, plus serialized per-event driver
+            # bookkeeping (collect, offsets, progress reporting).
+            yield self.env.timeout(
+                cal.SPARK_TRIGGER_OVERHEAD
+                + len(events) * cal.SPARK_DRIVER_PER_EVENT
+            )
+            # Spark overlaps fetching/planning the next micro-batch with
+            # executing the current one, bounded by the in-flight cap.
+            slot = self._inflight.request()
+            yield slot
+            self.env.process(self._execute_trigger(events, slot))
+
+    def _execute_trigger(self, events: list[InputEvent], slot) -> typing.Generator:
+        chunks = self._split(events, self.mp)
+        tasks = [self.env.process(self._chunk_task(chunk)) for chunk in chunks]
+        yield self.env.all_of(tasks)
+        self._inflight.release(slot)
+        self.triggers_fired += 1
+
+    @staticmethod
+    def _split(events: list, parts: int) -> list[list]:
+        chunks = [events[i::parts] for i in range(parts)]
+        return [chunk for chunk in chunks if chunk]
+
+    def _chunk_task(self, events: list[InputEvent]) -> typing.Generator:
+        # Executor-side Kafka read of this chunk's record data.
+        chunk_bytes = sum(e.nbytes for e in events)
+        if chunk_bytes:
+            yield self.env.timeout(LAN.transfer_time(chunk_bytes))
+        decode = sum(self.decode_cost(e.batch) for e in events)
+        overheads = len(events) * (
+            self.profile.source_overhead + self.profile.score_overhead
+        )
+        yield self.env.timeout((decode + overheads) * self.slowdown)
+        # One batched, vectorized inference call for the whole chunk.
+        total_points = sum(e.batch.points for e in events)
+        yield from self.tool.score(total_points, vectorized=True)
+        for event in events:
+            batch = event.batch
+            yield self.env.timeout(
+                (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
+            )
+            self.emit_and_complete(batch)

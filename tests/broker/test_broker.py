@@ -1,0 +1,211 @@
+"""Unit tests for the simulated Kafka broker."""
+
+import pytest
+
+from repro.broker import BrokerCluster, Consumer, Producer
+from repro.broker.consumer import assign_partitions
+from repro.errors import ConfigError, MessageTooLargeError, UnknownTopicError
+from repro.simul import Environment
+
+
+def make_cluster(env, partitions=4):
+    cluster = BrokerCluster(env)
+    cluster.create_topic("input", partitions)
+    return cluster
+
+
+def test_create_topic_and_lookup():
+    env = Environment()
+    cluster = make_cluster(env)
+    assert cluster.topic("input").partition_count == 4
+
+
+def test_duplicate_topic_rejected():
+    env = Environment()
+    cluster = make_cluster(env)
+    with pytest.raises(ConfigError):
+        cluster.create_topic("input", 2)
+
+
+def test_unknown_topic_rejected():
+    env = Environment()
+    cluster = BrokerCluster(env)
+    with pytest.raises(UnknownTopicError):
+        cluster.topic("nope")
+
+
+def test_produce_assigns_offsets_and_log_append_time():
+    env = Environment()
+    cluster = make_cluster(env, partitions=1)
+    producer = Producer(env, cluster)
+    metadatas = []
+
+    def proc():
+        for __ in range(3):
+            md = yield from producer.send("input", value="x", nbytes=3000)
+            metadatas.append(md)
+
+    env.process(proc())
+    env.run()
+    assert [m.offset for m in metadatas] == [0, 1, 2]
+    # LogAppendTime is stamped after transfer + broker service.
+    assert all(m.log_append_time > 0 for m in metadatas)
+    assert metadatas[0].log_append_time < metadatas[1].log_append_time
+
+
+def test_round_robin_partitioning():
+    env = Environment()
+    cluster = make_cluster(env, partitions=3)
+    producer = Producer(env, cluster)
+    seen = []
+
+    def proc():
+        for __ in range(6):
+            md = yield from producer.send("input", value="x", nbytes=100)
+            seen.append(md.partition)
+
+    env.process(proc())
+    env.run()
+    assert seen == [0, 1, 2, 0, 1, 2]
+
+
+def test_keyed_partitioning():
+    env = Environment()
+    cluster = make_cluster(env, partitions=4)
+    producer = Producer(env, cluster)
+    seen = []
+
+    def proc():
+        for key in [0, 4, 8]:
+            md = yield from producer.send("input", value="x", nbytes=100, key=key)
+            seen.append(md.partition)
+
+    env.process(proc())
+    env.run()
+    assert seen == [0, 0, 0]
+
+
+def test_message_too_large_rejected():
+    env = Environment()
+    cluster = make_cluster(env)
+    producer = Producer(env, cluster)
+
+    def proc():
+        yield from producer.send("input", value="x", nbytes=100 * 1024 * 1024)
+
+    proc_event = env.process(proc())
+    with pytest.raises(MessageTooLargeError):
+        env.run(until=proc_event)
+
+
+def test_consumer_receives_all_records_in_order():
+    env = Environment()
+    cluster = make_cluster(env, partitions=1)
+    producer = Producer(env, cluster)
+    consumer = Consumer(env, cluster, "input")
+    received = []
+
+    def produce():
+        for i in range(5):
+            yield from producer.send("input", value=i, nbytes=100)
+            yield env.timeout(0.001)
+
+    def consume():
+        while len(received) < 5:
+            records = yield from consumer.poll()
+            received.extend(r.value for r in records)
+
+    env.process(produce())
+    env.process(consume())
+    env.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_consumer_poll_blocks_until_data():
+    env = Environment()
+    cluster = make_cluster(env, partitions=1)
+    producer = Producer(env, cluster)
+    consumer = Consumer(env, cluster, "input")
+    poll_done_at = []
+
+    def produce():
+        yield env.timeout(5.0)
+        yield from producer.send("input", value="late", nbytes=100)
+
+    def consume():
+        records = yield from consumer.poll()
+        poll_done_at.append((env.now, records[0].value))
+
+    env.process(produce())
+    env.process(consume())
+    env.run()
+    assert poll_done_at[0][0] > 5.0
+    assert poll_done_at[0][1] == "late"
+
+
+def test_consumer_group_partition_split():
+    env = Environment()
+    cluster = make_cluster(env, partitions=4)
+    c0 = Consumer(env, cluster, "input", member=0, members=2)
+    c1 = Consumer(env, cluster, "input", member=1, members=2)
+    assert sorted(c0.partitions + c1.partitions) == [0, 1, 2, 3]
+    assert not set(c0.partitions) & set(c1.partitions)
+
+
+def test_consumer_lag():
+    env = Environment()
+    cluster = make_cluster(env, partitions=2)
+    producer = Producer(env, cluster)
+    consumer = Consumer(env, cluster, "input")
+
+    def produce():
+        for i in range(4):
+            yield from producer.send("input", value=i, nbytes=100)
+
+    env.process(produce())
+    env.run()
+    assert consumer.lag() == 4
+
+    def consume():
+        yield from consumer.poll()
+
+    env.process(consume())
+    env.run()
+    assert consumer.lag() < 4
+
+
+def test_assign_partitions_validation():
+    with pytest.raises(ConfigError):
+        assign_partitions(4, member=2, members=2)
+    with pytest.raises(ConfigError):
+        assign_partitions(4, member=0, members=0)
+
+
+def test_consumer_without_partitions_rejected():
+    env = Environment()
+    cluster = make_cluster(env, partitions=1)
+    with pytest.raises(ConfigError):
+        Consumer(env, cluster, "input", member=1, members=2)
+
+
+def test_log_append_time_of_consumed_records_is_append_time():
+    """Crayfish's end timestamp (§3.3) must be broker-side, not consume-side."""
+    env = Environment()
+    cluster = make_cluster(env, partitions=1)
+    producer = Producer(env, cluster)
+    consumer = Consumer(env, cluster, "input")
+    out = []
+
+    def produce():
+        yield from producer.send("input", value="x", nbytes=100, timestamp=0.0)
+
+    def consume():
+        yield env.timeout(10)  # consume much later than append
+        records = yield from consumer.poll()
+        out.extend(records)
+
+    env.process(produce())
+    env.process(consume())
+    env.run()
+    assert out[0].log_append_time < 1.0
+    assert out[0].timestamp == 0.0

@@ -1,0 +1,130 @@
+"""Broker edge cases: byte-capped fetches, planning fetches, seeks."""
+
+import pytest
+
+from repro.broker import BrokerCluster, Consumer, Producer
+from repro.simul import Environment
+
+
+def setup(partitions=1, max_request_bytes=None):
+    env = Environment()
+    kwargs = {}
+    if max_request_bytes is not None:
+        kwargs["max_request_bytes"] = max_request_bytes
+    cluster = BrokerCluster(env, **kwargs)
+    cluster.create_topic("t", partitions)
+    return env, cluster, Producer(env, cluster)
+
+
+def fill(env, producer, n, nbytes=100):
+    def produce():
+        for i in range(n):
+            yield from producer.send("t", value=i, nbytes=nbytes)
+
+    env.process(produce())
+    env.run()
+
+
+def test_fetch_respects_byte_budget():
+    """fetch.max.bytes: one poll never drags more than the cap."""
+    env, cluster, producer = setup(max_request_bytes=1000)
+    fill(env, producer, 10, nbytes=300)
+    consumer = Consumer(env, cluster, "t")
+    batches = []
+
+    def consume():
+        while sum(len(b) for b in batches) < 10:
+            records = yield from consumer.poll()
+            batches.append(records)
+
+    env.process(consume())
+    env.run()
+    # 1000-byte budget over 300-byte records: at most 4 per poll.
+    assert all(len(batch) <= 4 for batch in batches)
+    assert sum(len(b) for b in batches) == 10
+
+
+def test_fetch_always_makes_progress_on_oversized_record():
+    """A record alone above the fetch budget is still delivered (like
+    Kafka). Appends happen under a loose limit; the budget is tightened
+    before fetching."""
+    env2 = Environment()
+    cluster2 = BrokerCluster(env2, max_request_bytes=10_000)
+    cluster2.create_topic("t", 1)
+    producer2 = Producer(env2, cluster2)
+
+    def produce():
+        for i in range(2):
+            yield from producer2.send("t", value=i, nbytes=9000)
+
+    env2.process(produce())
+    env2.run()
+    cluster2.max_request_bytes = 1000  # tighten the fetch budget
+    consumer2 = Consumer(env2, cluster2, "t")
+    got2 = []
+
+    def consume2():
+        while len(got2) < 2:
+            records = yield from consumer2.poll()
+            got2.extend(records)
+
+    env2.process(consume2())
+    env2.run()
+    assert len(got2) == 2
+
+
+def test_planning_fetch_is_cheaper_than_data_fetch():
+    """data_transfer=False (Spark's driver) skips the payload transfer."""
+
+    def poll_time(data_transfer):
+        env, cluster, producer = setup()
+        fill(env, producer, 100, nbytes=50_000)
+        consumer = Consumer(env, cluster, "t")
+        start = {}
+
+        def consume():
+            start["t"] = env.now
+            yield from consumer.poll(max_records=100, data_transfer=data_transfer)
+            start["elapsed"] = env.now - start["t"]
+
+        env.process(consume())
+        env.run()
+        return start["elapsed"]
+
+    assert poll_time(False) < 0.2 * poll_time(True)
+
+
+def test_seek_replays_records():
+    env, cluster, producer = setup()
+    fill(env, producer, 5)
+    consumer = Consumer(env, cluster, "t")
+    seen = []
+
+    def consume(n):
+        while len(seen) < n:
+            records = yield from consumer.poll()
+            seen.extend(r.value for r in records)
+
+    env.process(consume(5))
+    env.run()
+    consumer.seek({0: 2})
+    env.process(consume(8))
+    env.run()
+    assert seen == [0, 1, 2, 3, 4, 2, 3, 4]
+
+
+def test_lag_reflects_seek():
+    env, cluster, producer = setup()
+    fill(env, producer, 5)
+    consumer = Consumer(env, cluster, "t")
+    assert consumer.lag() == 5
+    consumer.seek({0: 5})
+    assert consumer.lag() == 0
+    consumer.seek({0: 0})
+    assert consumer.lag() == 5
+
+
+def test_broker_count_validation():
+    env = Environment()
+    with pytest.raises(Exception):
+        BrokerCluster(env, broker_count=0)

@@ -1,0 +1,123 @@
+"""Property-based tests for broker invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker import BrokerCluster, Consumer, Producer
+from repro.simul import Environment
+
+
+@given(
+    n_records=st.integers(min_value=1, max_value=40),
+    partitions=st.integers(min_value=1, max_value=8),
+    gap=st.floats(min_value=0.0, max_value=0.01),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_record_consumed_exactly_once(n_records, partitions, gap):
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic("t", partitions)
+    producer = Producer(env, cluster)
+    consumer = Consumer(env, cluster, "t")
+    received = []
+
+    def produce():
+        for i in range(n_records):
+            yield from producer.send("t", value=i, nbytes=50)
+            if gap:
+                yield env.timeout(gap)
+
+    def consume():
+        while len(received) < n_records:
+            records = yield from consumer.poll()
+            received.extend(r.value for r in records)
+
+    env.process(produce())
+    env.process(consume())
+    env.run()
+    assert sorted(received) == list(range(n_records))
+
+
+@given(
+    n_records=st.integers(min_value=2, max_value=30),
+    partitions=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_offsets_monotonic_per_partition(n_records, partitions):
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic("t", partitions)
+    producer = Producer(env, cluster)
+    consumer = Consumer(env, cluster, "t")
+    records = []
+
+    def produce():
+        for i in range(n_records):
+            yield from producer.send("t", value=i, nbytes=50)
+
+    def consume():
+        while len(records) < n_records:
+            chunk = yield from consumer.poll()
+            records.extend(chunk)
+
+    env.process(produce())
+    env.process(consume())
+    env.run()
+    per_partition = {}
+    for record in records:
+        per_partition.setdefault(record.partition, []).append(record.offset)
+    for offsets in per_partition.values():
+        assert offsets == sorted(offsets)
+        assert offsets == list(range(offsets[0], offsets[0] + len(offsets)))
+
+
+@given(
+    n_records=st.integers(min_value=1, max_value=30),
+    members=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_group_members_partition_disjoint_coverage(n_records, members):
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic("t", max(members, 4))
+    producer = Producer(env, cluster)
+    consumers = [
+        Consumer(env, cluster, "t", member=m, members=members) for m in range(members)
+    ]
+    received = []
+
+    def produce():
+        for i in range(n_records):
+            yield from producer.send("t", value=i, nbytes=50)
+
+    def consume(consumer):
+        while True:
+            records = yield from consumer.poll()
+            received.extend(r.value for r in records)
+
+    env.process(produce())
+    for consumer in consumers:
+        env.process(consume(consumer))
+    # Consumers poll forever; run bounded time instead of to exhaustion.
+    env.run(until=60.0)
+    assert sorted(received) == list(range(n_records))
+
+
+@given(nbytes=st.floats(min_value=1, max_value=1e6))
+@settings(max_examples=30, deadline=None)
+def test_log_append_time_after_send_start(nbytes):
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic("t", 1)
+    producer = Producer(env, cluster)
+    out = []
+
+    def produce():
+        start = env.now
+        md = yield from producer.send("t", value="x", nbytes=nbytes)
+        out.append((start, md.log_append_time))
+
+    env.process(produce())
+    env.run()
+    start, append_time = out[0]
+    assert append_time > start

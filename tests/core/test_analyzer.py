@@ -1,0 +1,84 @@
+"""Unit tests for the metrics analyzer (recovery time, aggregates)."""
+
+import pytest
+
+from repro.core.analyzer import (
+    Aggregate,
+    aggregate_latency,
+    baseline_latency,
+    recovery_time,
+)
+from repro.core.metrics import LatencyStats
+
+
+def make_series(spike_at=10.0, spike_len=5.0, base=0.01, spike=0.5, step=0.1):
+    """A flat latency series with one rectangular spike."""
+    series = []
+    t = 0.0
+    while t < 40.0:
+        lat = spike if spike_at <= t < spike_at + spike_len else base
+        series.append((t, lat))
+        t += step
+    return series
+
+
+def test_baseline_latency_window():
+    series = make_series()
+    assert baseline_latency(series, until=10.0) == pytest.approx(0.01)
+    # Full-history baseline after the spike is polluted...
+    assert baseline_latency(series, until=20.0) > 0.02
+    # ...a windowed baseline is not.
+    assert baseline_latency(series, until=20.0, window=3.0) == pytest.approx(0.01)
+
+
+def test_baseline_requires_samples():
+    with pytest.raises(ValueError):
+        baseline_latency([], until=5.0)
+
+
+def test_recovery_detected_after_spike():
+    series = make_series(spike_at=10.0, spike_len=5.0)
+    report = recovery_time(series, burst_start=10.0, burst_end=15.0, horizon=30.0)
+    assert report.recovery_time == pytest.approx(5.0, abs=0.2)
+    assert report.peak_latency == 0.5
+
+
+def test_no_recovery_reported_when_latency_stays_high():
+    series = make_series(spike_at=10.0, spike_len=25.0)
+    report = recovery_time(series, burst_start=10.0, burst_end=15.0, horizon=30.0)
+    assert report.recovery_time is None
+
+
+def test_recovery_ignores_transient_dips():
+    """A single low sample inside the spike must not count as recovered."""
+    series = make_series(spike_at=10.0, spike_len=8.0)
+    # Inject one low sample mid-spike.
+    series = [
+        (t, 0.01 if abs(t - 13.0) < 0.01 else lat) for t, lat in series
+    ]
+    report = recovery_time(
+        series, burst_start=10.0, burst_end=18.0, horizon=35.0, dwell=1.0
+    )
+    assert report.recovery_time == pytest.approx(8.0, abs=0.3)
+
+
+def test_recovery_validation():
+    with pytest.raises(ValueError):
+        recovery_time(make_series(), burst_start=5.0, burst_end=5.0, horizon=10.0)
+
+
+def test_aggregate():
+    aggregate = Aggregate.of([1.0, 3.0])
+    assert aggregate.mean == 2.0
+    assert aggregate.std == 1.0
+    assert aggregate.runs == 2
+    with pytest.raises(ValueError):
+        Aggregate.of([])
+
+
+def test_aggregate_latency_skips_empty():
+    full = LatencyStats.from_samples([1.0, 2.0])
+    empty = LatencyStats.from_samples([])
+    aggregate = aggregate_latency([full, empty])
+    assert aggregate.runs == 1
+    assert aggregate.mean == 1.5

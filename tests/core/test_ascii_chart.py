@@ -1,0 +1,49 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.core.ascii_chart import render_chart
+
+
+def test_renders_title_axes_and_legend():
+    chart = render_chart(
+        {"onnx": [(1, 100), (2, 200)], "tf": [(1, 50), (2, 80)]},
+        title="Scaling",
+        x_label="mp",
+    )
+    assert chart.splitlines()[0] == "Scaling"
+    assert "o=onnx" in chart
+    assert "x=tf" in chart
+    assert "200" in chart
+    assert "50" in chart
+
+
+def test_markers_plotted():
+    chart = render_chart({"a": [(0, 0), (1, 1)]})
+    assert "o" in chart
+
+
+def test_log_scale():
+    chart = render_chart({"a": [(1, 1), (2, 1000)]}, log_y=True)
+    assert "1.0k" in chart
+    with pytest.raises(ValueError):
+        render_chart({"a": [(1, 0)]}, log_y=True)
+
+
+def test_flat_series_does_not_divide_by_zero():
+    chart = render_chart({"a": [(1, 5), (2, 5)]})
+    assert "5" in chart
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(ValueError):
+        render_chart({})
+    with pytest.raises(ValueError):
+        render_chart({"a": []})
+
+
+def test_dimensions_respected():
+    chart = render_chart({"a": [(0, 0), (10, 10)]}, width=30, height=8)
+    body_lines = [line for line in chart.splitlines() if "|" in line]
+    assert len(body_lines) == 8
+    assert all(len(line.split("|", 1)[1]) == 30 for line in body_lines)

@@ -1,0 +1,109 @@
+"""Unit tests for dataset replay and results persistence."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.dataset import Dataset
+from repro.core.results_io import (
+    load_results,
+    result_to_dict,
+    save_results,
+    save_results_csv,
+)
+from repro.core.runner import run_experiment
+from repro.errors import ConfigError
+
+
+def test_synthetic_dataset_shapes():
+    dataset = Dataset.synthetic(points=100, point_shape=(28, 28), seed=1)
+    assert len(dataset) == 100
+    assert dataset.point_shape == (28, 28)
+    assert dataset.labels is not None
+    assert dataset.data.dtype == np.float32
+
+
+def test_synthetic_is_seeded():
+    a = Dataset.synthetic(10, (4,), seed=3)
+    b = Dataset.synthetic(10, (4,), seed=3)
+    np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_dataset_validation():
+    with pytest.raises(ConfigError):
+        Dataset(np.zeros(5))  # 1-D: no point shape
+    with pytest.raises(ConfigError):
+        Dataset(np.zeros((5, 2)), labels=np.zeros(3))
+    with pytest.raises(ConfigError):
+        Dataset.synthetic(points=0, point_shape=(4,))
+
+
+def test_dataset_save_load_round_trip(tmp_path):
+    dataset = Dataset.synthetic(20, (8,), seed=0)
+    path = str(tmp_path / "data.npz")
+    dataset.save(path)
+    restored = Dataset.load(path)
+    np.testing.assert_array_equal(restored.data, dataset.data)
+    np.testing.assert_array_equal(restored.labels, dataset.labels)
+
+
+def test_dataset_load_rejects_wrong_archive(tmp_path):
+    path = str(tmp_path / "bad.npz")
+    np.savez(path, other=np.zeros(3))
+    with pytest.raises(ConfigError):
+        Dataset.load(path)
+
+
+def test_batches_cycle_through_data():
+    dataset = Dataset(np.arange(12, dtype=np.float32).reshape(6, 2))
+    batches = dataset.take_batches(count=4, bsz=4)
+    assert all(b.shape == (4, 2) for b in batches)
+    # 4 batches x 4 points = 16 reads over 6 points: wraps around.
+    flat = np.concatenate(batches)[:, 0]
+    assert flat[0] == flat[12]  # cycled back to the start
+
+
+def test_batches_validation():
+    dataset = Dataset.synthetic(5, (2,))
+    with pytest.raises(ConfigError):
+        next(dataset.batches(0))
+
+
+def small_result():
+    return run_experiment(
+        ExperimentConfig(sps="flink", serving="onnx", model="ffnn", ir=100.0, duration=1.0)
+    )
+
+
+def test_result_to_dict_round_trips_json(tmp_path):
+    result = small_result()
+    record = result_to_dict(result)
+    assert record["config"]["sps"] == "flink"
+    assert record["config"]["workload"] == "open_loop"
+    assert record["throughput"] == result.throughput
+    path = str(tmp_path / "results.json")
+    save_results([result, result], path)
+    loaded = load_results(path)
+    assert len(loaded) == 2
+    assert loaded[0]["completed"] == result.completed
+
+
+def test_load_results_rejects_non_list(tmp_path):
+    path = str(tmp_path / "bad.json")
+    with open(path, "w") as handle:
+        handle.write("{}")
+    with pytest.raises(ValueError):
+        load_results(path)
+
+
+def test_save_results_csv(tmp_path):
+    result = small_result()
+    path = str(tmp_path / "results.csv")
+    save_results_csv([result], path)
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 2
+    assert "config.sps" in lines[0]
+    assert "throughput" in lines[0]
+    with pytest.raises(ValueError):
+        save_results_csv([], str(tmp_path / "empty.csv"))

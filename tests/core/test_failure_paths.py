@@ -1,0 +1,85 @@
+"""Failure-injection tests: oversized messages, drained runs, bad input."""
+
+import pytest
+
+from repro.broker import BrokerCluster, Producer
+from repro.config import ExperimentConfig, WorkloadKind
+from repro.core.runner import run_experiment
+from repro.errors import MessageTooLargeError
+from repro.simul import Environment
+
+
+def test_oversized_batch_rejected_by_broker():
+    """ResNet50 inputs at a large bsz exceed the 50 MB max.request.size
+    (the paper had to raise the limit for its latency experiments; our
+    broker enforces the configured ceiling)."""
+    config = ExperimentConfig(
+        sps="flink",
+        serving="onnx",
+        model="resnet50",
+        workload=WorkloadKind.CLOSED_LOOP,
+        ir=0.5,
+        bsz=128,  # 128 x 224x224x3 x 4 B ~ 77 MB JSON > 50 MB
+        duration=5.0,
+    )
+    with pytest.raises(MessageTooLargeError):
+        run_experiment(config)
+
+
+def test_oversized_batch_fits_standalone():
+    """The standalone (no-kafka) pipeline has no broker limit to hit:
+    the same model/batch shape that trips max.request.size is accepted
+    (only a smaller batch finishes within a sane window, so we score
+    bsz=8 here; the 77 MB payload case is covered by the broker test)."""
+    config = ExperimentConfig(
+        sps="flink",
+        serving="onnx",
+        model="resnet50",
+        workload=WorkloadKind.CLOSED_LOOP,
+        ir=0.2,
+        bsz=8,
+        duration=20.0,
+        use_broker=False,
+    )
+    result = run_experiment(config)
+    assert result.completed > 0
+
+
+def test_custom_broker_limit():
+    env = Environment()
+    cluster = BrokerCluster(env, max_request_bytes=1000)
+    cluster.create_topic("t", 1)
+    producer = Producer(env, cluster)
+
+    def send():
+        yield from producer.send("t", "x", nbytes=2000)
+
+    event = env.process(send())
+    with pytest.raises(MessageTooLargeError):
+        env.run(until=event)
+
+
+def test_zero_completions_yield_nan_latency_not_crash():
+    """A run too short for anything to finish reports cleanly."""
+    config = ExperimentConfig(
+        sps="flink",
+        serving="onnx",
+        model="resnet50",  # ~400 ms per event; nothing finishes in 0.2 s
+        ir=1.0,
+        duration=0.2,
+    )
+    result = run_experiment(config)
+    assert result.completed == 0
+    assert result.throughput == 0.0
+    assert result.latency.count == 0
+
+
+def test_rate_far_above_capacity_is_stable():
+    """Extreme overload: the pipeline backlogs in the broker but the
+    simulation stays consistent (no loss, throughput = capacity)."""
+    config = ExperimentConfig(
+        sps="flink", serving="onnx", model="ffnn", ir=None, duration=2.0
+    )
+    result = run_experiment(config)
+    assert result.completed <= result.produced
+    assert 900 < result.throughput < 1600

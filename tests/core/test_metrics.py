@@ -1,0 +1,95 @@
+"""Unit tests for metrics collection and statistics."""
+
+import math
+
+import pytest
+
+from repro.core.batch import CrayfishDataBatch
+from repro.core.metrics import Completion, LatencyStats, MetricsCollector, percentile
+from repro.simul import Environment
+
+
+def batch(batch_id, created_at=0.0):
+    return CrayfishDataBatch(
+        batch_id=batch_id, created_at=created_at, points=1, point_shape=(4,)
+    )
+
+
+def test_percentile_interpolates():
+    sample = [0.0, 10.0, 20.0, 30.0, 40.0]
+    assert percentile(sample, 0.5) == 20.0
+    assert percentile(sample, 0.0) == 0.0
+    assert percentile(sample, 1.0) == 40.0
+    assert percentile(sample, 0.25) == 10.0
+    assert percentile(sample, 0.1) == pytest.approx(4.0)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_latency_stats_basics():
+    stats = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == 2.5
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.p50 == 2.5
+    assert stats.std == pytest.approx(math.sqrt(1.25))
+
+
+def test_latency_stats_empty():
+    stats = LatencyStats.from_samples([])
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+
+
+def test_collector_records_latency():
+    env = Environment()
+    collector = MetricsCollector(env)
+    collector.on_complete(batch(0, created_at=1.0), end_time=3.5)
+    assert collector.count == 1
+    assert collector.completions[0].latency == 2.5
+
+
+def test_collector_rejects_duplicates():
+    env = Environment()
+    collector = MetricsCollector(env)
+    collector.on_complete(batch(0), end_time=1.0)
+    with pytest.raises(ValueError, match="twice"):
+        collector.on_complete(batch(0), end_time=2.0)
+
+
+def test_collector_rejects_time_travel():
+    env = Environment()
+    collector = MetricsCollector(env)
+    with pytest.raises(ValueError, match="before start"):
+        collector.on_complete(batch(0, created_at=5.0), end_time=1.0)
+
+
+def test_warmup_discard_uses_end_time():
+    env = Environment()
+    collector = MetricsCollector(env)
+    for i in range(10):
+        collector.on_complete(batch(i, created_at=float(i)), end_time=float(i) + 0.5)
+    assert len(collector.after(5.0)) == 5
+    stats = collector.latency_stats(cutoff=5.0)
+    assert stats.count == 5
+
+
+def test_throughput_window():
+    env = Environment()
+    collector = MetricsCollector(env)
+    for i in range(20):
+        collector.on_complete(batch(i, created_at=i * 0.1), end_time=i * 0.1 + 0.01)
+    assert collector.throughput(0.0, 2.0) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        collector.throughput(2.0, 2.0)
+
+
+def test_completion_latency():
+    completion = Completion(batch_id=1, created_at=2.0, end_time=5.0)
+    assert completion.latency == 3.0

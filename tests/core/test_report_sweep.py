@@ -1,0 +1,51 @@
+"""Unit tests for reporting helpers and parameter sweeps."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.report import format_ms, format_rate, format_table, ratio_note
+from repro.core.sweep import sweep
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_rate():
+    assert format_rate(1373.07) == "1,373"
+    assert format_rate(2.85) == "2.85"
+
+
+def test_format_ms():
+    assert format_ms(0.19165) == "191.65"
+
+
+def test_ratio_note():
+    assert ratio_note(2.0, 1.0) == "2.00x"
+    assert ratio_note(1.0, 0.0) == "n/a"
+
+
+def test_sweep_runs_grid():
+    base = ExperimentConfig(sps="flink", serving="onnx", model="ffnn", ir=None, duration=1.0)
+    seen = []
+    points = sweep(
+        base,
+        grid={"mp": [1, 2]},
+        seeds=(0,),
+        hook=lambda overrides, results: seen.append(overrides["mp"]),
+    )
+    assert seen == [1, 2]
+    assert len(points) == 2
+    assert points[1].throughput.mean > points[0].throughput.mean
+    assert points[0].overrides == {"mp": 1}
+    assert points[0].mean_latency.mean > 0
+
+
+def test_sweep_empty_grid_rejected():
+    base = ExperimentConfig()
+    with pytest.raises(ValueError):
+        sweep(base, grid={})

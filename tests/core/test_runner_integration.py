@@ -1,0 +1,152 @@
+"""Integration tests: full experiments across every SPS x serving kind."""
+
+import pytest
+
+from repro.config import ExperimentConfig, WorkloadKind
+from repro.core.consumer import OutputConsumer
+from repro.core.runner import (
+    INPUT_TOPIC,
+    OUTPUT_TOPIC,
+    ExperimentRunner,
+    run_experiment,
+    run_replicated,
+)
+from repro.errors import ConfigError
+
+
+def short(sps="flink", serving="onnx", **kw):
+    kw.setdefault("duration", 1.0)
+    kw.setdefault("ir", None)
+    return ExperimentConfig(sps=sps, serving=serving, model="ffnn", **kw)
+
+
+@pytest.mark.parametrize("sps", ["flink", "kafka_streams", "spark_ss", "ray"])
+@pytest.mark.parametrize("serving", ["onnx", "tf_serving"])
+def test_every_engine_completes_batches(sps, serving):
+    # Spark's first saturated micro-batch alone spans ~2 simulated seconds.
+    duration = 4.0 if sps == "spark_ss" else 1.0
+    result = run_experiment(short(sps=sps, serving=serving, duration=duration))
+    assert result.completed > 10
+    assert result.throughput > 0
+    assert result.latency.count > 0
+    assert result.latency.mean > 0
+
+
+def test_latencies_are_end_minus_start():
+    result = run_experiment(short())
+    for end_time, latency in result.series:
+        assert latency > 0
+        assert end_time <= result.config.duration + 1e-9
+
+
+def test_closed_loop_latency_low_and_stable():
+    config = short(workload=WorkloadKind.CLOSED_LOOP, ir=5.0, duration=4.0)
+    result = run_experiment(config)
+    # At 5 ev/s the pipeline (service ~0.7 ms) is idle: latency is a few ms.
+    assert result.latency.mean < 0.05
+    assert result.completed == pytest.approx(5.0 * 4.0, rel=0.15)
+
+
+def test_throughput_does_not_exceed_offered_rate():
+    config = short(workload=WorkloadKind.OPEN_LOOP, ir=200.0, duration=3.0)
+    result = run_experiment(config)
+    assert result.throughput <= 200.0 * 1.05
+    assert result.throughput == pytest.approx(200.0, rel=0.1)
+
+
+def test_replicated_runs_differ_only_by_noise():
+    results = run_replicated(short(duration=1.0), seeds=(0, 1))
+    assert len(results) == 2
+    a, b = results
+    assert a.throughput != b.throughput  # noise differs
+    assert a.throughput == pytest.approx(b.throughput, rel=0.2)
+
+
+def test_same_seed_is_deterministic():
+    a = run_experiment(short(), seed=3)
+    b = run_experiment(short(), seed=3)
+    assert a.throughput == b.throughput
+    assert a.series == b.series
+
+
+def test_run_replicated_needs_seeds():
+    with pytest.raises(ConfigError):
+        run_replicated(short(), seeds=())
+
+
+def test_standalone_mode_faster_than_kafka():
+    """Fig. 13: removing the broker lowers latency, throughput ~equal."""
+    kafka = run_experiment(
+        short(workload=WorkloadKind.CLOSED_LOOP, ir=5.0, duration=4.0)
+    )
+    direct = run_experiment(
+        short(workload=WorkloadKind.CLOSED_LOOP, ir=5.0, duration=4.0, use_broker=False)
+    )
+    assert direct.latency.mean < kafka.latency.mean
+
+
+def test_operator_parallelism_outperforms_chained():
+    """Fig. 12: flink[32-N-32] beats flink[N-N-N] at N=1."""
+    chained = run_experiment(short(duration=2.0))
+    unchained = run_experiment(
+        short(duration=2.0, operator_parallelism=(32, 1, 32))
+    )
+    assert unchained.throughput > 2.0 * chained.throughput
+
+
+def test_ray_external_is_ray_serve():
+    """Footnote 2: external serving on Ray goes through Ray Serve's
+    single HTTP proxy, capping throughput at ~455 ev/s."""
+    result = run_experiment(short(sps="ray", serving="tf_serving", mp=8, duration=2.0))
+    assert result.throughput < 500
+
+
+def test_output_consumer_matches_callback_measurements():
+    """The output-consumer component reads identical latencies to the
+    sink-callback fast path (same LogAppendTime measurements)."""
+    from repro.broker import BrokerCluster
+    from repro.core.batch import CrayfishDataBatch
+    from repro.core.metrics import MetricsCollector
+    from repro.simul import Environment
+    from repro.broker import Producer
+
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic(OUTPUT_TOPIC, 2)
+    producer = Producer(env, cluster)
+    collector = MetricsCollector(env)
+    consumer = OutputConsumer(env, cluster, OUTPUT_TOPIC)
+    consumer.start()
+
+    def emit():
+        for i in range(5):
+            batch = CrayfishDataBatch(
+                batch_id=i, created_at=env.now, points=1, point_shape=(4,)
+            )
+            yield env.timeout(0.01)
+            metadata = yield from producer.send(
+                OUTPUT_TOPIC, batch, nbytes=100, timestamp=batch.created_at
+            )
+            collector.on_complete(batch, metadata.log_append_time)
+
+    env.process(emit())
+    env.run(until=1.0)
+    assert len(consumer.completions) == 5
+    callback_latencies = sorted(c.latency for c in collector.completions)
+    consumer_latencies = sorted(consumer.latencies())
+    assert callback_latencies == pytest.approx(consumer_latencies)
+
+
+def test_warmup_fraction_discards_early_completions():
+    config = short(duration=2.0, warmup_fraction=0.5)
+    result = run_experiment(config)
+    assert result.measure_start == 1.0
+    assert all(end >= 0 for end, __ in result.series)
+    assert result.latency.count < result.completed
+
+
+def test_topics_created_with_configured_partitions():
+    runner = ExperimentRunner(short(partitions=8))
+    result = runner.run()
+    assert result.config.partitions == 8
+    assert INPUT_TOPIC != OUTPUT_TOPIC

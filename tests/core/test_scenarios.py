@@ -1,0 +1,59 @@
+"""Unit tests for the pre-configured workload scenarios."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.scenarios import (
+    measure_closed_loop_latency,
+    measure_sustainable_throughput,
+    run_burst_scenario,
+)
+
+
+def config(**kw):
+    kw.setdefault("duration", 1.5)
+    return ExperimentConfig(sps="flink", serving="onnx", model="ffnn", **kw)
+
+
+def test_sustainable_throughput_aggregate():
+    aggregate = measure_sustainable_throughput(config(), seeds=(0, 1))
+    assert aggregate.runs == 2
+    assert 800 < aggregate.mean < 2000
+    assert aggregate.std >= 0
+
+
+def test_closed_loop_latency():
+    aggregate, results = measure_closed_loop_latency(
+        config(ir=5.0, duration=3.0), seeds=(0,)
+    )
+    assert len(results) == 1
+    assert 0 < aggregate.mean < 0.05
+
+
+def test_closed_loop_defaults_rate():
+    aggregate, __ = measure_closed_loop_latency(config(duration=3.0), seeds=(0,))
+    assert aggregate.mean > 0
+
+
+def test_burst_scenario_recovers():
+    # Scaled-down bursts: 1 s bursts every 4 s around a known ST.
+    st = measure_sustainable_throughput(config(), seeds=(0,)).mean
+    outcome = run_burst_scenario(
+        config(bd=1.0, tbb=4.0), sustainable_throughput=st, bursts=2, seed=0
+    )
+    assert len(outcome.reports) == 2
+    assert len(outcome.recovery_times) >= 1
+    for recovery in outcome.recovery_times:
+        # Recovery is counted from burst start, so it exceeds bd...
+        assert recovery > 0.9
+        # ...but the 30% drain headroom clears the backlog well within tbb.
+        assert recovery < 1.0 + 4.0
+
+
+def test_burst_peak_latency_exceeds_baseline():
+    st = measure_sustainable_throughput(config(), seeds=(0,)).mean
+    outcome = run_burst_scenario(
+        config(bd=1.0, tbb=4.0), sustainable_throughput=st, bursts=1, seed=0
+    )
+    report = outcome.reports[0]
+    assert report.peak_latency > report.threshold

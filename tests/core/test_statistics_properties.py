@@ -1,0 +1,99 @@
+"""Property-based tests pinning statistics against NumPy references."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generator import PeriodicBursts, TraceSchedule
+from repro.core.metrics import LatencyStats, percentile
+from repro.netsim import binary_payload, json_payload
+
+finite_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    sample=st.lists(finite_floats, min_size=1, max_size=200),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_percentile_matches_numpy_linear(sample, q):
+    ordered = sorted(sample)
+    ours = percentile(ordered, q)
+    numpy_val = float(np.percentile(sample, q * 100, method="linear"))
+    assert ours == pytest_approx(numpy_val)
+
+
+def pytest_approx(value, rel=1e-9, abs_tol=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=abs_tol)
+
+
+@given(sample=st.lists(finite_floats, min_size=1, max_size=200))
+def test_latency_stats_match_numpy(sample):
+    stats = LatencyStats.from_samples(sample)
+    assert stats.mean == pytest_approx(float(np.mean(sample)), rel=1e-6)
+    assert stats.std == pytest_approx(float(np.std(sample)), rel=1e-6, abs_tol=1e-6)
+    assert stats.minimum == min(sample)
+    assert stats.maximum == max(sample)
+    assert stats.minimum <= stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+
+
+@given(values=st.integers(min_value=0, max_value=10**7))
+def test_payload_sizes_monotone_and_consistent(values):
+    json = json_payload(values)
+    binary = binary_payload(values)
+    assert json.nbytes >= binary.nbytes - 200  # json >= binary modulo envelopes
+    assert json.decode_cost >= json.encode_cost * 0.99
+    bigger = json_payload(values + 1)
+    assert bigger.nbytes > json.nbytes
+
+
+@given(
+    low=st.floats(min_value=1, max_value=1e4),
+    factor=st.floats(min_value=1.01, max_value=10),
+    bd=st.floats(min_value=0.1, max_value=100),
+    tbb=st.floats(min_value=0.1, max_value=100),
+    cycles=st.floats(min_value=0, max_value=10),
+)
+@settings(deadline=None)
+def test_bursts_rate_is_always_one_of_two_levels(low, factor, bd, tbb, cycles):
+    from hypothesis import assume
+
+    schedule = PeriodicBursts(low, low * factor, bd, tbb)
+    t = cycles * schedule.cycle
+    assert schedule.rate_at(t) in (low, low * factor)
+    # Away from float-boundary edges, the enumerated burst windows agree
+    # with the modulo-based in_burst predicate.
+    phase = t % schedule.cycle
+    assume(min(abs(phase - tbb), phase, schedule.cycle - phase) > 1e-6 * max(t, 1))
+    in_any_window = any(
+        start <= t < end for start, end in schedule.burst_windows(t + schedule.cycle)
+    )
+    assert in_any_window == schedule.in_burst(t)
+
+
+@given(
+    n_steps=st.integers(min_value=1, max_value=10),
+    data=st.data(),
+)
+@settings(max_examples=50)
+def test_trace_schedule_returns_a_defined_step(n_steps, data):
+    times = sorted(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=1000),
+                min_size=n_steps,
+                max_size=n_steps,
+                unique=True,
+            )
+        )
+    )
+    steps = tuple(
+        (0.0 if i == 0 else times[i - 1], data.draw(finite_floats))
+        for i in range(n_steps)
+    )
+    trace = TraceSchedule(steps=steps)
+    t = data.draw(st.floats(min_value=0, max_value=2000))
+    assert trace.rate_at(t) in {rate for __, rate in steps}

@@ -1,0 +1,114 @@
+"""Unit tests for broker pre-flight checks, probes, and trace schedules."""
+
+import pytest
+
+from repro.broker import BrokerCluster, Producer
+from repro.core.generator import TraceSchedule
+from repro.core.probe import BacklogProbe
+from repro.core.validation import verify_broker_headroom
+from repro.errors import ConfigError
+from repro.simul import Environment
+
+
+def test_broker_headroom_ok_at_paper_rates():
+    """§4.3: the cluster must sustain the study's maximum arrival rates
+    with a no-op inference task."""
+    report = verify_broker_headroom(target_rate=5000.0, duration=1.0)
+    assert report.ok
+    assert report.achieved_rate == pytest.approx(5000.0, rel=0.05)
+    assert report.consumed_rate == pytest.approx(5000.0, rel=0.05)
+    assert report.broker_utilization < 0.3
+
+
+def test_broker_headroom_flags_saturation():
+    """A hopeless rate must be reported, not hidden."""
+    report = verify_broker_headroom(
+        target_rate=80_000.0, bsz=8, duration=0.5
+    )
+    assert report.broker_utilization > 0.3 or not report.ok
+
+
+def test_broker_headroom_validation():
+    with pytest.raises(ConfigError):
+        verify_broker_headroom(target_rate=0)
+
+
+def test_trace_schedule_steps():
+    trace = TraceSchedule(steps=((0.0, 100.0), (10.0, 500.0), (20.0, 50.0)))
+    assert trace.rate_at(0) == 100.0
+    assert trace.rate_at(9.99) == 100.0
+    assert trace.rate_at(10.0) == 500.0
+    assert trace.rate_at(25.0) == 50.0  # holds the last step
+    assert trace.rate_at(1e9) == 50.0
+
+
+def test_trace_schedule_loops():
+    trace = TraceSchedule(steps=((0.0, 10.0), (5.0, 20.0)), loop=True)
+    assert trace.rate_at(6.0) == pytest.approx(10.0)  # wrapped past span=5
+    assert trace.rate_at(5.0) == 20.0
+
+
+def test_trace_schedule_validation():
+    with pytest.raises(ConfigError):
+        TraceSchedule(steps=())
+    with pytest.raises(ConfigError):
+        TraceSchedule(steps=((1.0, 5.0),))  # must start at 0
+    with pytest.raises(ConfigError):
+        TraceSchedule(steps=((0.0, 5.0), (0.0, 6.0)))  # duplicate times
+    with pytest.raises(ConfigError):
+        TraceSchedule(steps=((0.0, 0.0),))  # non-positive rate
+
+
+def test_trace_schedule_drives_producer():
+    from repro.core.generator import BatchFactory
+    from repro.core.producer import PacedProducer
+    from repro.sps.gateways import DirectInput
+
+    env = Environment()
+    direct = DirectInput(env)
+    producer = PacedProducer(
+        env,
+        BatchFactory(1, (4,)),
+        direct=direct,
+        schedule=TraceSchedule(steps=((0.0, 100.0), (1.0, 10.0))),
+    )
+    producer.start()
+    env.run(until=2.0)
+    # ~100 in the first second + ~10 in the second.
+    assert 95 <= producer.batches_produced <= 120
+
+
+def test_backlog_probe_tracks_queue():
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic("t", 2)
+    producer = Producer(env, cluster)
+    done = {"count": 0}
+    probe = BacklogProbe(
+        env, cluster, "t", completed=lambda: done["count"], interval=0.1, horizon=2.0
+    )
+
+    def produce():
+        for __ in range(50):
+            yield from producer.send("t", "x", nbytes=100)
+            yield env.timeout(0.01)
+
+    def consume():
+        yield env.timeout(1.0)
+        done["count"] = 50  # drain everything at t=1
+
+    probe.start()
+    env.process(produce())
+    env.process(consume())
+    env.run(until=2.0)
+    assert probe.peak() >= 40
+    assert probe.samples[-1][1] == 0
+    assert len(probe.series()) == len(probe.samples)
+
+
+def test_backlog_probe_validation():
+    env = Environment()
+    cluster = BrokerCluster(env)
+    cluster.create_topic("t", 1)
+    with pytest.raises(ValueError):
+        BacklogProbe(env, cluster, "t", completed=lambda: 0, interval=0)

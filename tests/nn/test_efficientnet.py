@@ -1,0 +1,113 @@
+"""Unit tests for Swish, SqueezeExcite, and EfficientNet-B0."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Residual, Dense, SqueezeExcite, Swish
+from repro.nn.zoo import model_info
+from repro.nn.zoo.efficientnet import build_efficientnet
+
+RNG = np.random.default_rng(0)
+
+
+def test_swish_matches_definition():
+    swish = Swish((4,))
+    x = np.array([[-2.0, 0.0, 1.0, 3.0]], dtype=np.float32)
+    expected = x / (1.0 + np.exp(-x))
+    np.testing.assert_allclose(swish.forward(x), expected, rtol=1e-5)
+
+
+def test_swish_handles_extreme_inputs():
+    swish = Swish((2,))
+    out = swish.forward(np.array([[-1000.0, 1000.0]], dtype=np.float32))
+    assert np.isfinite(out).all()
+    assert out[0, 0] == pytest.approx(0.0, abs=1e-5)
+    assert out[0, 1] == pytest.approx(1000.0, rel=1e-5)
+
+
+def test_squeeze_excite_shapes_and_params():
+    se = SqueezeExcite((32, 8, 8), reduction=4)
+    assert se.output_shape == (32, 8, 8)
+    assert se.squeezed == 8
+    assert se.param_count == (32 * 8 + 8) + (8 * 32 + 32)
+
+
+def test_squeeze_excite_gates_channels():
+    se = SqueezeExcite((4, 3, 3), reduction=2)
+    se.initialize(np.random.default_rng(1))
+    x = RNG.random((2, 4, 3, 3)).astype(np.float32)
+    out = se.forward(x)
+    assert out.shape == x.shape
+    # Gates are in (0, 1): output magnitude never exceeds the input's.
+    assert (np.abs(out) <= np.abs(x) + 1e-6).all()
+    # Scaling is per channel: within one channel the ratio is constant.
+    ratio = out[0, 0] / x[0, 0]
+    assert np.allclose(ratio, ratio.flat[0], rtol=1e-4)
+
+
+def test_squeeze_excite_validation():
+    with pytest.raises(ShapeError):
+        SqueezeExcite((4,), reduction=2)
+    with pytest.raises(ShapeError):
+        SqueezeExcite((4, 2, 2), reduction=0)
+
+
+def test_residual_without_final_relu():
+    block = Residual((4,), [Dense((4,), 4)], final_relu=False)
+    block.initialize(np.random.default_rng(0))
+    x = RNG.standard_normal((8, 4)).astype(np.float32)
+    out = block.forward(x)
+    # Without the ReLU, negative outputs survive.
+    assert (out < 0).any()
+    assert block.config()["final_relu"] is False
+
+
+def test_efficientnet_matches_published_characteristics():
+    """Tan & Le: B0 has ~5.3M params and ~0.39 GMACs (~0.78 GFLOPs)."""
+    info = model_info("efficientnet_b0")
+    assert info.input_shape == (3, 224, 224)
+    assert info.output_shape == (1000,)
+    assert 5.0e6 <= info.param_count <= 5.7e6
+    assert 0.7e9 <= info.flops_per_point <= 0.95e9
+
+
+def test_efficientnet_sits_between_mobilenet_in_params():
+    assert (
+        model_info("mobilenet").param_count
+        < model_info("efficientnet_b0").param_count
+        < model_info("resnet50").param_count
+    )
+
+
+def test_efficientnet_forward():
+    model = build_efficientnet(initialize=True, seed=0)
+    x = RNG.random((1, 3, 224, 224), dtype=np.float32)
+    probs = model.predict(x)
+    assert probs.shape == (1, 1000)
+    np.testing.assert_allclose(probs.sum(), 1.0, rtol=1e-4)
+
+
+def test_efficientnet_serializes():
+    """The architecture (incl. SE/Swish/no-relu residuals) round-trips."""
+    from repro.nn.model import Sequential
+
+    model = build_efficientnet(initialize=False)
+    rebuilt = Sequential.from_architecture(model.architecture(), name=model.name)
+    assert rebuilt.param_count == model.param_count
+    assert rebuilt.flops_per_point == pytest.approx(model.flops_per_point)
+
+
+def test_efficientnet_usable_in_experiments():
+    from repro.config import ExperimentConfig
+    from repro.core.runner import run_experiment
+
+    result = run_experiment(
+        ExperimentConfig(
+            sps="flink", serving="onnx", model="efficientnet_b0", ir=None, duration=3.0
+        )
+    )
+    assert result.completed > 5
+    # Input serde dominates at 224x224x3, so the rate sits near
+    # MobileNet's despite fewer FLOPs.
+    assert 5 < result.throughput < 25

@@ -1,0 +1,112 @@
+"""Unit tests for the GNN extension (real GCN math + accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.gnn import GcnModel, GraphConvLayer, build_gcn, normalize_adjacency
+
+
+def ring_graph(n):
+    adj = np.zeros((n, n), dtype=np.float32)
+    for i in range(n):
+        adj[i, (i + 1) % n] = 1.0
+        adj[(i + 1) % n, i] = 1.0
+    return adj
+
+
+def test_normalize_adjacency_symmetric_and_bounded():
+    adj = ring_graph(6)
+    norm = normalize_adjacency(adj)
+    np.testing.assert_allclose(norm, norm.T, atol=1e-6)
+    assert (norm >= 0).all()
+    # Self-loops added: the diagonal is non-zero.
+    assert (np.diag(norm) > 0).all()
+
+
+def test_normalize_adjacency_rejects_non_square():
+    with pytest.raises(ShapeError):
+        normalize_adjacency(np.zeros((3, 4)))
+
+
+def test_graph_conv_layer_forward():
+    layer = GraphConvLayer(4, 3)
+    layer.initialize(np.random.default_rng(0))
+    adj = normalize_adjacency(ring_graph(5))
+    h = np.random.default_rng(1).random((5, 4)).astype(np.float32)
+    out = layer.forward(h, adj)
+    assert out.shape == (5, 3)
+    assert (out >= 0).all()  # non-final layer applies ReLU
+
+
+def test_graph_conv_requires_init():
+    layer = GraphConvLayer(4, 3)
+    with pytest.raises(ShapeError):
+        layer.forward(np.zeros((2, 4)), np.eye(2))
+
+
+def test_graph_conv_validates_features():
+    layer = GraphConvLayer(4, 3)
+    layer.initialize(np.random.default_rng(0))
+    with pytest.raises(ShapeError):
+        layer.forward(np.zeros((2, 5), dtype=np.float32), np.eye(2))
+
+
+def test_gcn_predict_is_distribution():
+    model = build_gcn(initialize=True, seed=0, feature_dim=8, hidden_dim=16, classes=3)
+    adj = ring_graph(10)
+    x = np.random.default_rng(2).random((10, 8)).astype(np.float32)
+    probs = model.predict(x, adj)
+    assert probs.shape == (10, 3)
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), rtol=1e-5)
+
+
+def test_gcn_predict_validation():
+    model = build_gcn(initialize=True, feature_dim=8)
+    with pytest.raises(ShapeError):
+        model.predict(np.zeros((4, 8), dtype=np.float32))  # no adjacency
+    with pytest.raises(ShapeError):
+        model.predict(np.zeros((4, 9), dtype=np.float32), ring_graph(4))
+    with pytest.raises(ShapeError):
+        model.predict(np.zeros((4, 8), dtype=np.float32), ring_graph(5))
+
+
+def test_gcn_neighborhood_grows_geometrically_with_hops():
+    one = build_gcn(hops=1, avg_degree=8)
+    two = build_gcn(hops=2, avg_degree=8)
+    three = build_gcn(hops=3, avg_degree=8)
+    assert one.neighborhood_size == 1 + 8
+    assert two.neighborhood_size == 1 + 8 + 64
+    assert three.neighborhood_size > 5 * two.neighborhood_size
+
+
+def test_gcn_flops_scale_with_neighborhood():
+    shallow = build_gcn(hops=1)
+    deep = build_gcn(hops=3)
+    assert deep.flops_per_point > 10 * shallow.flops_per_point
+
+
+def test_gcn_param_count_matches_layers():
+    model = build_gcn(feature_dim=8, hidden_dim=16, classes=3, hops=2)
+    assert model.param_count == (8 * 16 + 16) + (16 * 3 + 3)
+
+
+def test_gcn_invalid_configs():
+    with pytest.raises(ShapeError):
+        build_gcn(hops=0)
+    with pytest.raises(ShapeError):
+        GcnModel(8, 16, 2, avg_degree=0.5)
+
+
+def test_gcn_registers_in_zoo():
+    from repro.nn.zoo import available_models, model_info, register_model, unregister_model
+
+    register_model("gcn_test", build_gcn)
+    try:
+        assert "gcn_test" in available_models()
+        info = model_info("gcn_test")
+        assert info.input_shape == (64,)
+        assert info.flops_per_point > 0
+    finally:
+        unregister_model("gcn_test")
+    assert "gcn_test" not in available_models()

@@ -1,0 +1,228 @@
+"""Unit tests for NN layers: shapes, params, FLOPs, and forward math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    ReLU,
+    Residual,
+    Softmax,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def test_dense_shapes_and_params():
+    layer = Dense((784,), 32)
+    assert layer.output_shape == (32,)
+    assert layer.param_count == 784 * 32 + 32
+    assert layer.flops_per_point == 2 * 784 * 32
+
+
+def test_dense_forward_matches_numpy():
+    layer = Dense((3,), 2)
+    layer.set_params(
+        {
+            "weight": np.array([[1, 0], [0, 1], [1, 1]], dtype=np.float32),
+            "bias": np.array([10, 20], dtype=np.float32),
+        }
+    )
+    out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+    np.testing.assert_allclose(out, [[14.0, 25.0]])
+
+
+def test_dense_rejects_bad_input_shape():
+    layer = Dense((3,), 2)
+    layer.initialize(RNG)
+    with pytest.raises(ShapeError):
+        layer.forward(np.zeros((1, 4)))
+
+
+def test_dense_requires_weights():
+    layer = Dense((3,), 2)
+    with pytest.raises(ShapeError, match="no weights"):
+        layer.forward(np.zeros((1, 3)))
+
+
+def test_dense_rejects_wrong_param_shapes():
+    layer = Dense((3,), 2)
+    with pytest.raises(ShapeError):
+        layer.set_params(
+            {
+                "weight": np.zeros((2, 3), dtype=np.float32),
+                "bias": np.zeros(2, dtype=np.float32),
+            }
+        )
+
+
+def test_conv2d_output_shape():
+    conv = Conv2d((3, 224, 224), filters=64, kernel_size=7, stride=2, padding=3)
+    assert conv.output_shape == (64, 112, 112)
+
+
+def test_conv2d_param_count():
+    conv = Conv2d((3, 224, 224), filters=64, kernel_size=7, stride=2, padding=3)
+    assert conv.param_count == 64 * 3 * 7 * 7 + 64
+
+
+def test_conv2d_forward_identity_kernel():
+    conv = Conv2d((1, 4, 4), filters=1, kernel_size=1)
+    conv.set_params(
+        {
+            "weight": np.ones((1, 1, 1, 1), dtype=np.float32),
+            "bias": np.zeros(1, dtype=np.float32),
+        }
+    )
+    x = RNG.standard_normal((2, 1, 4, 4)).astype(np.float32)
+    np.testing.assert_allclose(conv.forward(x), x, rtol=1e-6)
+
+
+def test_conv2d_forward_matches_naive():
+    conv = Conv2d((2, 5, 5), filters=3, kernel_size=3, stride=2, padding=1)
+    conv.initialize(np.random.default_rng(1))
+    x = RNG.standard_normal((2, 2, 5, 5)).astype(np.float32)
+    out = conv.forward(x)
+    w = conv.get_params()["weight"]
+    b = conv.get_params()["bias"]
+    padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+    expected = np.zeros_like(out)
+    for n in range(2):
+        for f in range(3):
+            for i in range(out.shape[2]):
+                for j in range(out.shape[3]):
+                    window = padded[n, :, 2 * i : 2 * i + 3, 2 * j : 2 * j + 3]
+                    expected[n, f, i, j] = (window * w[f]).sum() + b[f]
+    np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+
+def test_conv2d_kernel_too_big_rejected():
+    with pytest.raises(ShapeError):
+        Conv2d((1, 3, 3), filters=1, kernel_size=5)
+
+
+def test_batchnorm_normalizes():
+    bn = BatchNorm2d((2, 3, 3))
+    bn.set_params(
+        {
+            "gamma": np.ones(2, dtype=np.float32),
+            "beta": np.zeros(2, dtype=np.float32),
+            "running_mean": np.array([1.0, -1.0], dtype=np.float32),
+            "running_var": np.array([4.0, 1.0], dtype=np.float32),
+        }
+    )
+    x = np.ones((1, 2, 3, 3), dtype=np.float32)
+    out = bn.forward(x)
+    np.testing.assert_allclose(out[0, 0], np.zeros((3, 3)), atol=1e-3)
+    np.testing.assert_allclose(out[0, 1], 2 * np.ones((3, 3)), atol=1e-3)
+
+
+def test_relu_clips_negative():
+    relu = ReLU((4,))
+    out = relu.forward(np.array([[-1.0, 0.0, 2.0, -3.0]]))
+    np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0, 0.0]])
+
+
+def test_softmax_rows_sum_to_one():
+    softmax = Softmax((5,))
+    out = softmax.forward(RNG.standard_normal((8, 5)).astype(np.float32))
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(8), rtol=1e-5)
+    assert (out >= 0).all()
+
+
+def test_softmax_handles_large_logits():
+    softmax = Softmax((3,))
+    out = softmax.forward(np.array([[1000.0, 1000.0, -1000.0]]))
+    assert np.isfinite(out).all()
+    np.testing.assert_allclose(out[0, :2], [0.5, 0.5], rtol=1e-5)
+
+
+def test_flatten():
+    flat = Flatten((2, 3, 4))
+    assert flat.output_shape == (24,)
+    x = RNG.standard_normal((5, 2, 3, 4)).astype(np.float32)
+    assert flat.forward(x).shape == (5, 24)
+
+
+def test_maxpool_shape_and_values():
+    pool = MaxPool2d((1, 4, 4), pool_size=2)
+    assert pool.output_shape == (1, 2, 2)
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    out = pool.forward(x)
+    np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+
+def test_maxpool_with_padding():
+    pool = MaxPool2d((1, 3, 3), pool_size=3, stride=2, padding=1)
+    assert pool.output_shape == (1, 2, 2)
+    x = np.arange(9, dtype=np.float32).reshape(1, 1, 3, 3)
+    out = pool.forward(x)
+    assert np.isfinite(out).all()
+
+
+def test_global_avg_pool():
+    gap = GlobalAvgPool2d((2, 3, 3))
+    x = np.ones((1, 2, 3, 3), dtype=np.float32)
+    x[0, 1] = 3.0
+    np.testing.assert_allclose(gap.forward(x), [[1.0, 3.0]])
+
+
+def test_add_layer():
+    add = Add((3,))
+    out = add.forward(np.ones((1, 3)), np.full((1, 3), 2.0))
+    np.testing.assert_array_equal(out, [[3.0, 3.0, 3.0]])
+    with pytest.raises(ShapeError):
+        add.forward(np.ones((1, 3)))
+
+
+def test_residual_identity_shortcut():
+    main = [Dense((4,), 4)]
+    block = Residual((4,), main)
+    block.initialize(np.random.default_rng(0))
+    x = RNG.standard_normal((2, 4)).astype(np.float32)
+    expected = np.maximum(main[0].forward(x) + x, 0.0)
+    np.testing.assert_allclose(block.forward(x), expected, rtol=1e-6)
+
+
+def test_residual_projection_shortcut():
+    main = [Dense((4,), 8)]
+    shortcut = [Dense((4,), 8)]
+    block = Residual((4,), main, shortcut)
+    block.initialize(np.random.default_rng(0))
+    out = block.forward(RNG.standard_normal((2, 4)).astype(np.float32))
+    assert out.shape == (2, 8)
+    assert (out >= 0).all()
+
+
+def test_residual_shape_mismatch_rejected():
+    with pytest.raises(ShapeError):
+        Residual((4,), [Dense((4,), 8)])  # identity shortcut shape mismatch
+
+
+def test_residual_param_accounting():
+    block = Residual((4,), [Dense((4,), 4)], [Dense((4,), 4)])
+    assert block.param_count == 2 * (4 * 4 + 4)
+    assert set(block.param_shapes()) == {
+        "main.0.weight",
+        "main.0.bias",
+        "shortcut.0.weight",
+        "shortcut.0.bias",
+    }
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ShapeError):
+        Dense((0,), 3)
+    with pytest.raises(ShapeError):
+        Dense((2, 2), 3)
+    with pytest.raises(ShapeError):
+        Conv2d((4,), 1, 1)
+    with pytest.raises(ShapeError):
+        Softmax((2, 2))

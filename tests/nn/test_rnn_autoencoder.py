@@ -1,0 +1,110 @@
+"""Unit tests for the GRU and autoencoder model classes (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Gru, Sigmoid
+from repro.nn.formats import FORMATS
+from repro.nn.zoo import build_autoencoder, build_gru, model_info
+
+RNG = np.random.default_rng(0)
+
+
+def test_gru_shapes_and_params():
+    gru = Gru((10, 6), hidden=16)
+    assert gru.output_shape == (16,)
+    # 3 gates x (input kernel + recurrent kernel + bias).
+    assert gru.param_count == 3 * (6 * 16 + 16 * 16 + 16)
+
+
+def test_gru_flops_scale_with_timesteps():
+    short = Gru((8, 6), hidden=16)
+    long = Gru((64, 6), hidden=16)
+    assert long.flops_per_point == pytest.approx(8 * short.flops_per_point)
+
+
+def test_gru_forward_bounded_state():
+    gru = Gru((12, 4), hidden=8)
+    gru.initialize(np.random.default_rng(1))
+    out = gru.forward(RNG.standard_normal((3, 12, 4)).astype(np.float32))
+    assert out.shape == (3, 8)
+    # GRU hidden state is a convex mix of tanh candidates: |h| <= 1.
+    assert np.abs(out).max() <= 1.0 + 1e-6
+
+
+def test_gru_is_order_sensitive():
+    """Reversing the sequence must change the final state (a real
+    recurrence, not a pooling operator)."""
+    gru = Gru((6, 3), hidden=5)
+    gru.initialize(np.random.default_rng(2))
+    x = RNG.standard_normal((1, 6, 3)).astype(np.float32)
+    forward = gru.forward(x)
+    backward = gru.forward(x[:, ::-1, :].copy())
+    assert not np.allclose(forward, backward)
+
+
+def test_gru_validation():
+    with pytest.raises(ShapeError):
+        Gru((10,), hidden=4)
+    with pytest.raises(ShapeError):
+        Gru((10, 4), hidden=0)
+
+
+def test_sigmoid_range():
+    sigmoid = Sigmoid((5,))
+    out = sigmoid.forward(np.array([[-100.0, -1.0, 0.0, 1.0, 100.0]]))
+    # Extreme inputs saturate to exactly 0/1 in float32 — fine, and no
+    # overflow warnings thanks to the stable split implementation.
+    assert (out >= 0).all() and (out <= 1).all()
+    assert out[0, 2] == pytest.approx(0.5)
+    assert out[0, 1] == pytest.approx(1 / (1 + np.e), rel=1e-5)
+
+
+def test_gru_zoo_model():
+    info = model_info("gru")
+    assert info.input_shape == (32, 64)
+    assert info.output_shape == (8,)
+    model = build_gru(initialize=True, seed=0)
+    probs = model.predict(RNG.standard_normal((2, 32, 64)).astype(np.float32))
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(2), rtol=1e-5)
+
+
+def test_autoencoder_reconstructs_shape():
+    info = model_info("autoencoder")
+    assert info.input_shape == (28, 28)
+    assert info.output_values == 784
+    model = build_autoencoder(initialize=True, seed=0)
+    x = RNG.random((3, 28, 28), dtype=np.float32)
+    reconstruction = model.predict(x)
+    assert reconstruction.shape == (3, 784)
+    assert (reconstruction >= 0).all() and (reconstruction <= 1).all()
+
+
+def test_autoencoder_reconstruction_error_is_a_score():
+    """The streaming use case: anomaly scoring by reconstruction error."""
+    model = build_autoencoder(initialize=True, seed=0)
+    x = RNG.random((4, 28, 28), dtype=np.float32)
+    errors = ((model.predict(x) - x.reshape(4, -1)) ** 2).mean(axis=1)
+    assert errors.shape == (4,)
+    assert (errors >= 0).all()
+
+
+def test_gru_round_trips_through_formats():
+    model = build_gru(initialize=True, seed=1)
+    restored = FORMATS["onnx"].loads(FORMATS["onnx"].dumps(model))
+    x = RNG.standard_normal((2, 32, 64)).astype(np.float32)
+    np.testing.assert_allclose(restored.predict(x), model.predict(x), rtol=1e-5)
+
+
+def test_sequence_models_usable_in_experiments():
+    from repro.config import ExperimentConfig
+    from repro.core.runner import run_experiment
+
+    for model in ("gru", "autoencoder"):
+        result = run_experiment(
+            ExperimentConfig(
+                sps="flink", serving="onnx", model=model, ir=None, duration=2.0
+            )
+        )
+        assert result.completed > 10, model

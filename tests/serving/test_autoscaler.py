@@ -1,0 +1,114 @@
+"""Unit tests for the external-server autoscaler."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigError
+from repro.serving import create_serving_tool
+from repro.serving.external.autoscaler import AutoscalePolicy, Autoscaler
+from repro.simul import Environment
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(min_workers=0)
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(min_workers=4, max_workers=2)
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(check_interval=0)
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(step=0)
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(
+            scale_up_queue_per_worker=1.0, scale_down_queue_per_worker=2.0
+        )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ExperimentConfig(serving="onnx", autoscale=(1, 4))
+    with pytest.raises(ConfigError):
+        ExperimentConfig(serving="tf_serving", autoscale=(4, 2))
+    with pytest.raises(ConfigError):
+        ExperimentConfig(
+            serving="tf_serving", autoscale=(1, 4), server_workers=2
+        )
+
+
+def build(policy, horizon=30.0):
+    env = Environment()
+    tool = create_serving_tool("torchserve", env, "ffnn", mp=policy.min_workers)
+    scaler = Autoscaler(env, tool, policy, horizon=horizon)
+    return env, tool, scaler
+
+
+def drive(env, tool, n_clients, requests_each, interval=0.0):
+    done = []
+
+    def client():
+        for __ in range(requests_each):
+            result = yield from tool.score(1)
+            done.append(result)
+            if interval:
+                yield env.timeout(interval)
+
+    def driver():
+        yield from tool.load()
+        clients = [env.process(client()) for __ in range(n_clients)]
+        yield env.all_of(clients)
+
+    env.process(driver())
+    env.run()
+    return done
+
+
+def test_scales_up_under_load():
+    policy = AutoscalePolicy(min_workers=1, max_workers=8, worker_start_delay=0.05)
+    env, tool, scaler = build(policy)
+    done = drive(env, tool, n_clients=32, requests_each=30)
+    assert len(done) == 32 * 30
+    assert scaler.scale_ups > 0
+    assert scaler.peak_desired > 1
+
+
+def test_scales_back_down_when_idle():
+    policy = AutoscalePolicy(
+        min_workers=1, max_workers=8, worker_start_delay=0.05, check_interval=0.05
+    )
+    env, tool, scaler = build(policy)
+
+    def phase_driver():
+        yield from tool.load()
+        # Burst phase: flood with concurrent requests.
+        burst = [env.process(one()) for __ in range(64)]
+
+        def wrap():
+            yield env.all_of(burst)
+
+        yield from wrap()
+        # Idle phase: let the control loop observe the empty queue.
+        yield env.timeout(3.0)
+
+    def one():
+        yield from tool.score(1)
+
+    env.process(phase_driver())
+    env.run(until=6.0)
+    assert scaler.scale_ups > 0
+    assert scaler.scale_downs > 0
+    assert scaler.desired == policy.min_workers
+
+
+def test_never_exceeds_max_workers():
+    policy = AutoscalePolicy(min_workers=1, max_workers=3, worker_start_delay=0.01)
+    env, tool, scaler = build(policy)
+    drive(env, tool, n_clients=64, requests_each=10)
+    assert scaler.peak_desired <= 3
+
+
+def test_all_requests_served_across_scaling():
+    policy = AutoscalePolicy(min_workers=2, max_workers=6, worker_start_delay=0.02)
+    env, tool, scaler = build(policy)
+    done = drive(env, tool, n_clients=16, requests_each=20, interval=0.001)
+    assert len(done) == 16 * 20
+    assert tool.requests_served == 16 * 20

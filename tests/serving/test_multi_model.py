@@ -1,0 +1,130 @@
+"""Unit tests for multi-model serving and version rollouts."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ServingError
+from repro.nn.zoo import model_info
+from repro.serving import create_serving_tool
+from repro.serving.costs import ServingCostModel
+from repro.serving.external.multi_model import MultiModelServer
+from repro.simul import Environment
+
+
+def costs(model="ffnn", tool="tf_serving"):
+    return ServingCostModel(cal.SERVING_PROFILES[tool], model_info(model))
+
+
+def test_server_validates_workers():
+    env = Environment()
+    with pytest.raises(ServingError):
+        MultiModelServer(env, workers=0)
+
+
+def test_deploy_and_score():
+    env = Environment()
+    server = MultiModelServer(env)
+    outcomes = []
+
+    def driver():
+        yield from server.deploy("classifier", "v1", costs())
+        result, version = yield from server.score("classifier", bsz=2)
+        outcomes.append((result, version))
+
+    env.process(driver())
+    env.run()
+    result, version = outcomes[0]
+    assert version == "v1"
+    assert result.points == 2
+    assert server.models() == {"classifier": "v1"}
+
+
+def test_unknown_model_rejected():
+    env = Environment()
+    server = MultiModelServer(env)
+    server.start()
+
+    def driver():
+        yield from server.score("nope", 1)
+
+    event = env.process(driver())
+    with pytest.raises(ServingError):
+        env.run(until=event)
+    with pytest.raises(ServingError):
+        server.undeploy("nope")
+
+
+def test_multiple_models_route_independently():
+    env = Environment()
+    server = MultiModelServer(env)
+    served = []
+
+    def driver():
+        yield from server.deploy("small", "v1", costs("ffnn"))
+        yield from server.deploy("large", "v1", costs("resnet50"))
+        small, __ = yield from server.score("small", 1)
+        large, __ = yield from server.score("large", 1)
+        served.append((small.service_time, large.service_time))
+
+    env.process(driver())
+    env.run()
+    small_time, large_time = served[0]
+    assert large_time > 50 * small_time  # ResNet50 vs FFNN
+
+
+def test_rollout_is_zero_downtime():
+    """Requests during a deploy are served by the old version; requests
+    after it by the new one — nobody waits for the load."""
+    env = Environment()
+    server = MultiModelServer(env)
+    versions = []
+
+    def client():
+        while env.now < 4.0:
+            __, version = yield from server.score("m", 1)
+            versions.append((env.now, version))
+            yield env.timeout(0.05)
+
+    def driver():
+        yield from server.deploy("m", "v1", costs())
+        env.process(client())
+        yield env.timeout(1.0)
+        yield from server.deploy("m", "v2", costs())
+
+    env.process(driver())
+    env.run()
+    v1_times = [t for t, v in versions if v == "v1"]
+    v2_times = [t for t, v in versions if v == "v2"]
+    assert v1_times and v2_times
+    assert max(v1_times) < min(v2_times)
+    # Zero downtime: the stream of replies has no gap near the rollout.
+    gaps = [b - a for a, b in zip(sorted(t for t, _ in versions), sorted(t for t, _ in versions)[1:])]
+    assert max(gaps) < 0.1
+
+
+def test_embedded_swap_stalls_scoring():
+    """The embedded counterpart: swapping weights quiesces the engine."""
+    env = Environment()
+    tool = create_serving_tool("onnx", env, "ffnn")
+    latencies = []
+
+    def client():
+        while env.now < 3.0:
+            result = yield from tool.score(1)
+            latencies.append((env.now, result.service_time))
+            yield env.timeout(0.02)
+
+    def driver():
+        yield from tool.load()
+        env.process(client())
+        yield env.timeout(1.0)
+        yield from tool.swap_model(costs(tool="onnx"))
+
+    env.process(driver())
+    env.run()
+    worst = max(service for __, service in latencies)
+    typical = min(service for __, service in latencies)
+    # At least one request stalled for roughly the model-load time.
+    assert worst > 0.5 * costs(tool="onnx").load_time()
+    assert worst > 20 * typical
+    assert tool.model_swaps == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the gRPC/REST protocol selection (§3.4.3)."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigError
+from repro.netsim import GrpcChannel, HttpChannel
+from repro.serving import create_serving_tool
+from repro.simul import Environment
+
+
+def test_config_validation():
+    ExperimentConfig(serving="tf_serving", protocol="rest")
+    ExperimentConfig(serving="torchserve", protocol="grpc")
+    with pytest.raises(ConfigError):
+        ExperimentConfig(serving="tf_serving", protocol="soap")
+    with pytest.raises(ConfigError):
+        ExperimentConfig(serving="onnx", protocol="rest")
+    with pytest.raises(ConfigError):
+        ExperimentConfig(serving="ray_serve", protocol="grpc")
+
+
+def test_factory_builds_requested_channel():
+    env = Environment()
+    grpc = create_serving_tool("tf_serving", env, "ffnn", protocol="grpc")
+    rest = create_serving_tool("tf_serving", env, "ffnn", protocol="rest")
+    default = create_serving_tool("tf_serving", env, "ffnn")
+    assert isinstance(grpc.channel, GrpcChannel)
+    assert isinstance(rest.channel, HttpChannel)
+    assert isinstance(default.channel, GrpcChannel)  # the paper's choice
+
+
+def test_factory_rejects_protocol_for_wrong_tools():
+    env = Environment()
+    with pytest.raises(ConfigError):
+        create_serving_tool("onnx", env, "ffnn", protocol="rest")
+    with pytest.raises(ConfigError):
+        create_serving_tool("ray_serve", env, "ffnn", protocol="grpc")
+    with pytest.raises(ConfigError):
+        create_serving_tool("tf_serving", env, "ffnn", protocol="thrift")
+
+
+def test_rest_requests_cost_more():
+    """JSON payloads make the same call slower over REST."""
+
+    def one_call_time(protocol):
+        env = Environment()
+        tool = create_serving_tool("tf_serving", env, "ffnn", protocol=protocol)
+        done = []
+
+        def driver():
+            yield from tool.load()
+            result = yield from tool.score(64)
+            done.append(result.service_time)
+
+        env.process(driver())
+        env.run()
+        return done[0]
+
+    assert one_call_time("rest") > 1.1 * one_call_time("grpc")
+
+
+def test_ray_substitution_ignores_protocol():
+    """sps=ray + external + protocol must not crash: Ray Serve is
+    HTTP-only and replaces the requested tool entirely."""
+    from repro.core.runner import run_experiment
+
+    result = run_experiment(
+        ExperimentConfig(
+            sps="ray", serving="tf_serving", protocol="grpc", ir=None, duration=1.0
+        )
+    )
+    assert result.completed > 0

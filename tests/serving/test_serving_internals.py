@@ -1,0 +1,106 @@
+"""Additional serving-layer internals: load idempotence, GPU transfer,
+server queue behaviour, ScoringResult invariants."""
+
+import pytest
+
+from repro.serving import create_serving_tool
+from repro.simul import Environment
+
+
+def run_until_done(env, coro):
+    return env.run(until=env.process(coro))
+
+
+def test_load_is_idempotent_for_workers():
+    """Reloading an external service (e.g. after recovery) must not
+    double its worker pool."""
+    env = Environment()
+    tool = create_serving_tool("tf_serving", env, "ffnn", mp=2)
+
+    def driver():
+        yield from tool.load()
+        yield from tool.load()  # again, like a restart path
+
+    env.process(driver())
+    env.run()
+    # Each worker parks exactly one getter on the queue when idle.
+    assert len(tool._queue._getters) == 2
+
+
+def test_scoring_result_fields_consistent():
+    env = Environment()
+    tool = create_serving_tool("onnx", env, "resnet50")
+    results = []
+
+    def driver():
+        yield from tool.load()
+        result = yield from tool.score(4)
+        results.append(result)
+
+    env.process(driver())
+    env.run()
+    result = results[0]
+    assert result.points == 4
+    assert result.output_values == 4 * 1000
+    assert result.service_time > 4 * 0.3  # >= compute time alone
+
+
+def test_external_requests_queue_fifo_per_worker():
+    """With one worker, completion order matches request order."""
+    env = Environment()
+    tool = create_serving_tool("tf_serving", env, "ffnn", mp=1)
+    order = []
+
+    def client(tag, delay):
+        yield env.timeout(delay)
+        yield from tool.score(1)
+        order.append(tag)
+
+    def driver():
+        yield from tool.load()
+        clients = [env.process(client(i, i * 1e-5)) for i in range(5)]
+        yield env.all_of(clients)
+
+    env.process(driver())
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_gpu_transfer_scales_with_batch():
+    env = Environment()
+    tool = create_serving_tool("onnx", env, "resnet50", gpu=True)
+    assert tool.costs.gpu_transfer_time(16) == pytest.approx(
+        2 * tool.costs.gpu_transfer_time(8)
+    )
+
+
+def test_embedded_requests_served_counter():
+    env = Environment()
+    tool = create_serving_tool("savedmodel", env, "ffnn")
+
+    def driver():
+        yield from tool.load()
+        for __ in range(7):
+            yield from tool.score(1)
+
+    env.process(driver())
+    env.run()
+    assert tool.requests_served == 7
+    assert tool.loaded
+
+
+def test_large_batch_service_time_superlinear_floor():
+    """service(2n) >= service(n): no accidental sublinearity."""
+    env = Environment()
+    tool = create_serving_tool("onnx", env, "ffnn")
+    times = {}
+
+    def driver():
+        yield from tool.load()
+        for bsz in (8, 16, 64):
+            result = yield from tool.score(bsz)
+            times[bsz] = result.service_time
+
+    env.process(driver())
+    env.run()
+    assert times[8] < times[16] < times[64]

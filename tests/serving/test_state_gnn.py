@@ -1,0 +1,149 @@
+"""Unit tests for the state store and GNN serving tool (§9 extension)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.nn.gnn import build_gcn
+from repro.nn.zoo import ModelInfo
+from repro.serving.costs import ServingCostModel
+from repro.serving.embedded.gnn import GnnEmbeddedTool
+from repro.serving.state import StateStore
+from repro.simul import Environment, RandomStreams
+
+
+def run_coro(env, coro):
+    return env.run(until=env.process(coro))
+
+
+def test_state_store_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        StateStore(env, hit_ratio=1.5)
+    with pytest.raises(ValueError):
+        StateStore(env, io_lanes=0)
+    store = StateStore(env)
+
+    def bad():
+        yield from store.read_many(-1)
+
+    event = env.process(bad())
+    with pytest.raises(ValueError):
+        env.run(until=event)
+
+
+def test_state_store_zero_keys_is_free():
+    env = Environment()
+    store = StateStore(env)
+    misses = run_coro(env, store.read_many(0))
+    assert misses == 0
+    assert env.now == 0.0
+
+
+def test_state_store_misses_cost_more():
+    def total_time(hit_ratio):
+        env = Environment()
+        store = StateStore(env, hit_ratio=hit_ratio)
+        run_coro(env, store.read_many(1000))
+        return env.now
+
+    assert total_time(0.0) > 5 * total_time(1.0)
+
+
+def test_state_store_deterministic_misses_without_rng():
+    env = Environment()
+    store = StateStore(env, hit_ratio=0.8)
+    misses = run_coro(env, store.read_many(100))
+    assert misses == 20
+    assert store.keys_read == 100
+    assert store.keys_missed == 20
+
+
+def test_state_store_random_misses_with_rng():
+    env = Environment()
+    store = StateStore(env, hit_ratio=0.8, rng=RandomStreams(1))
+    misses = run_coro(env, store.read_many(1000))
+    assert 150 <= misses <= 250  # around the 20% expectation
+
+
+def test_state_store_io_lanes_shared():
+    """Concurrent big reads queue on the bounded I/O lanes."""
+    env = Environment()
+    store = StateStore(env, hit_ratio=0.0, io_lanes=1)
+
+    def reader():
+        yield from store.read_many(1000)
+
+    env.process(reader())
+    env.process(reader())
+    env.run()
+    # Two 1000-miss reads serialized on one lane: 2 * 1000 * miss_cost.
+    assert env.now == pytest.approx(2 * 1000 * store.miss_cost, rel=0.01)
+
+
+def make_gnn_tool(env, hops=2, hit_ratio=0.8):
+    gcn = build_gcn(hops=hops)
+    info = ModelInfo(
+        name=gcn.name,
+        input_shape=gcn.input_shape,
+        output_shape=gcn.output_shape,
+        param_count=gcn.param_count,
+        flops_per_point=gcn.flops_per_point,
+    )
+    costs = ServingCostModel(cal.SERVING_PROFILES["onnx"], info)
+    store = StateStore(env, hit_ratio=hit_ratio)
+    return GnnEmbeddedTool(env, costs, gcn, store)
+
+
+def test_gnn_tool_scores_with_state_reads():
+    env = Environment()
+    tool = make_gnn_tool(env)
+    results = []
+
+    def driver():
+        yield from tool.load()
+        result = yield from tool.score(4)
+        results.append(result)
+
+    env.process(driver())
+    env.run()
+    assert results[0].points == 4
+    assert tool.store.keys_read == 4 * tool.gcn.neighborhood_size
+
+
+def test_gnn_latency_grows_with_hops():
+    """The k-hop neighborhood dominates serving latency as k grows —
+    exactly why the paper flags GNNs as an open serving challenge."""
+
+    def service_time(hops):
+        env = Environment()
+        tool = make_gnn_tool(env, hops=hops)
+        results = []
+
+        def driver():
+            yield from tool.load()
+            result = yield from tool.score(1)
+            results.append(result)
+
+        env.process(driver())
+        env.run()
+        return results[0].service_time
+
+    assert service_time(3) > 10 * service_time(1)
+
+
+def test_gnn_cache_hit_ratio_matters():
+    def service_time(hit_ratio):
+        env = Environment()
+        tool = make_gnn_tool(env, hops=3, hit_ratio=hit_ratio)
+        results = []
+
+        def driver():
+            yield from tool.load()
+            result = yield from tool.score(1)
+            results.append(result)
+
+        env.process(driver())
+        env.run()
+        return results[0].service_time
+
+    assert service_time(0.0) > 2 * service_time(0.99)

@@ -1,0 +1,149 @@
+"""Unit tests for embedded and external serving tools."""
+
+import pytest
+
+from repro.errors import ConfigError, ServingError
+from repro.serving import create_serving_tool
+from repro.simul import Environment, RandomStreams
+
+
+def make_tool(name, model="ffnn", mp=1, gpu=False, seed=None):
+    env = Environment()
+    rng = RandomStreams(seed) if seed is not None else None
+    tool = create_serving_tool(name, env, model, mp=mp, gpu=gpu, rng=rng)
+    return env, tool
+
+
+def run_scores(env, tool, count, bsz=1, concurrency=1):
+    """Load the tool, then run ``count`` scoring calls across
+    ``concurrency`` client processes; returns (results, elapsed)."""
+    results = []
+
+    def client(n):
+        for __ in range(n):
+            result = yield from tool.score(bsz)
+            results.append(result)
+
+    def driver():
+        yield from tool.load()
+        start = env.now
+        clients = [
+            env.process(client(count // concurrency)) for __ in range(concurrency)
+        ]
+        yield env.all_of(clients)
+        return env.now - start
+
+    done = env.process(driver())
+    elapsed = env.run(until=done)
+    return results, elapsed
+
+
+def test_unknown_tool_rejected():
+    env = Environment()
+    with pytest.raises(ConfigError):
+        create_serving_tool("mxnet", env, "ffnn")
+
+
+def test_score_before_load_rejected():
+    env, tool = make_tool("onnx")
+
+    def proc():
+        yield from tool.score(1)
+
+    event = env.process(proc())
+    with pytest.raises(ServingError):
+        env.run(until=event)
+
+
+@pytest.mark.parametrize(
+    "name,kind",
+    [
+        ("onnx", "embedded"),
+        ("dl4j", "embedded"),
+        ("savedmodel", "embedded"),
+        ("tf_serving", "external"),
+        ("torchserve", "external"),
+        ("ray_serve", "external"),
+    ],
+)
+def test_all_tools_score(name, kind):
+    env, tool = make_tool(name)
+    assert tool.kind == kind
+    results, __ = run_scores(env, tool, count=5)
+    assert len(results) == 5
+    assert all(r.points == 1 for r in results)
+    assert all(r.output_values == 10 for r in results)
+    assert all(r.service_time > 0 for r in results)
+    assert tool.requests_served == 5
+
+
+def test_embedded_faster_than_external_for_ffnn():
+    """Table 4: embedded ONNX beats external TF-Serving per request."""
+    env_e, onnx = make_tool("onnx")
+    results_e, elapsed_e = run_scores(env_e, onnx, count=20)
+    env_x, tfs = make_tool("tf_serving")
+    results_x, elapsed_x = run_scores(env_x, tfs, count=20)
+    assert elapsed_e < elapsed_x
+
+
+def test_external_latency_includes_network():
+    """A single external call costs at least the LAN round trip."""
+    env, tool = make_tool("tf_serving")
+    results, __ = run_scores(env, tool, count=1)
+    assert results[0].service_time > 0.9e-3  # ~1 ms RTT floor
+
+
+def test_dl4j_concurrency_capped():
+    """16 concurrent scorers only get 8 engine slots (Fig. 6)."""
+    env, tool = make_tool("dl4j", mp=16)
+    __, elapsed_16 = run_scores(env, tool, count=64, concurrency=16)
+    env2, tool2 = make_tool("dl4j", mp=8)
+    __, elapsed_8 = run_scores(env2, tool2, count=64, concurrency=8)
+    # Extra workers beyond 8 buy (almost) nothing but contention.
+    assert elapsed_16 >= elapsed_8 * 0.9
+
+
+def test_tf_serving_resnet_does_not_scale():
+    """Fig. 7: TF-Serving executes ResNet50 in one session."""
+    env1, tool1 = make_tool("tf_serving", model="resnet50", mp=1)
+    __, elapsed_1 = run_scores(env1, tool1, count=8, concurrency=1)
+    env8, tool8 = make_tool("tf_serving", model="resnet50", mp=8)
+    __, elapsed_8 = run_scores(env8, tool8, count=8, concurrency=8)
+    assert elapsed_8 > elapsed_1 * 0.8  # no speedup from 8 workers
+
+
+def test_torchserve_resnet_scales():
+    """Fig. 7: TorchServe keeps scaling for ResNet50 (with friction)."""
+    env1, tool1 = make_tool("torchserve", model="resnet50", mp=1)
+    __, elapsed_1 = run_scores(env1, tool1, count=8, concurrency=1)
+    env8, tool8 = make_tool("torchserve", model="resnet50", mp=8)
+    __, elapsed_8 = run_scores(env8, tool8, count=8, concurrency=8)
+    assert elapsed_8 < elapsed_1 / 2
+
+
+def test_ray_serve_proxy_serializes_requests():
+    """Fig. 11: one HTTP proxy caps Ray Serve's scaling."""
+    env, tool = make_tool("ray_serve", mp=8)
+    results, elapsed = run_scores(env, tool, count=80, concurrency=8)
+    throughput = len(results) / elapsed
+    assert throughput < 500  # proxy-bound ceiling (paper: ~455 ev/s)
+
+
+def test_gpu_reduces_resnet_latency():
+    """Fig. 9: GPU inference is faster end to end for ResNet50."""
+    env_c, cpu = make_tool("tf_serving", model="resnet50", gpu=False)
+    results_c, __ = run_scores(env_c, cpu, count=2, bsz=8)
+    env_g, gpu = make_tool("tf_serving", model="resnet50", gpu=True)
+    results_g, __ = run_scores(env_g, gpu, count=2, bsz=8)
+    assert results_g[-1].service_time < results_c[-1].service_time
+
+
+def test_seeded_tools_are_reproducible():
+    env_a, tool_a = make_tool("tf_serving", seed=5)
+    results_a, elapsed_a = run_scores(env_a, tool_a, count=10)
+    env_b, tool_b = make_tool("tf_serving", seed=5)
+    results_b, elapsed_b = run_scores(env_b, tool_b, count=10)
+    assert elapsed_a == elapsed_b
+    assert [r.service_time for r in results_a] == [
+        r.service_time for r in results_b
+    ]

@@ -1,0 +1,214 @@
+"""Unit tests for the DES environment, events, and processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simul import Environment, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.timeout(5)
+        times.append(env.now)
+        yield env.timeout(2.5)
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=25)
+    assert env.now == 25.0
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 3.0
+
+
+def test_run_backwards_rejected():
+    env = Environment()
+    env.run(until=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_same_time_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abc":
+        env.process(proc(name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        return 42
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [42]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def parent(caught):
+        try:
+            yield env.process(child())
+        except ValueError as error:
+            caught.append(str(error))
+
+    caught = []
+    env.process(parent(caught))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unwatched_process_crash_surfaces():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    env.process(child())
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_yield_non_event_fails():
+    env = Environment()
+
+    def bad():
+        yield 17
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+            log.append("slept through")
+        except Interrupt as interrupt:
+            log.append(("interrupted", env.now, interrupt.cause))
+
+    def interrupter(proc):
+        yield env.timeout(5)
+        proc.interrupt("wake up")
+
+    proc = env.process(sleeper())
+    env.process(interrupter(proc))
+    env.run()
+    assert log == [("interrupted", 5.0, "wake up")]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    seen = []
+
+    def proc():
+        t1 = env.timeout(5, "slow")
+        t2 = env.timeout(2, "fast")
+        result = yield env.any_of([t1, t2])
+        seen.append((env.now, list(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(2.0, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    seen = []
+
+    def proc():
+        t1 = env.timeout(5, "slow")
+        t2 = env.timeout(2, "fast")
+        result = yield env.all_of([t1, t2])
+        seen.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(5.0, ["fast", "slow"])]
+
+
+def test_event_succeed_twice_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        __ = event.value

@@ -1,0 +1,135 @@
+"""Kernel edge cases: conditions, cancellation, failure propagation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simul import Environment, Interrupt, Store
+from repro.simul.events import AllOf, AnyOf
+
+
+def test_any_of_empty_fires_immediately():
+    env = Environment()
+    seen = []
+
+    def proc():
+        result = yield env.any_of([])
+        seen.append((env.now, result))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(0.0, {})]
+
+
+def test_all_of_propagates_failure():
+    env = Environment()
+    caught = []
+
+    def failer():
+        yield env.timeout(1)
+        raise RuntimeError("inner")
+
+    def waiter():
+        try:
+            yield env.all_of([env.process(failer()), env.timeout(10)])
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["inner"]
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+    seen = []
+
+    def proc():
+        fast = env.timeout(1)
+        yield fast  # fully processed now
+        result = yield env.any_of([fast, env.timeout(100)])
+        seen.append(env.now)
+        assert fast in result
+
+    env.process(proc())
+    env.run(until=5)
+    assert seen == [1.0]
+
+
+def test_condition_rejects_cross_environment_events():
+    env_a, env_b = Environment(), Environment()
+    with pytest.raises(SimulationError):
+        AnyOf(env_a, [env_b.timeout(1)])
+    with pytest.raises(SimulationError):
+        AllOf(env_a, [env_b.timeout(1)])
+
+
+def test_interrupt_while_waiting_on_store():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer():
+        try:
+            yield store.get()
+            log.append("got")
+        except Interrupt:
+            log.append(("interrupted", env.now))
+
+    def interrupter(proc):
+        yield env.timeout(3)
+        proc.interrupt()
+
+    proc = env.process(consumer())
+    env.process(interrupter(proc))
+    env.run()
+    assert log == [("interrupted", 3.0)]
+    # The store must not hand a later item to the dead getter.
+    store.try_put("x")
+    assert store.level == 1
+
+
+def test_cancelled_store_getter_skipped_on_dispatch():
+    env = Environment()
+    store = Store(env)
+    getter = store.get()  # parked
+    getter.succeed("cancelled")  # neutralize (the batching/autoscaler idiom)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append(item)
+
+    env.process(consumer())
+
+    def producer():
+        yield store.put("real")
+
+    env.process(producer())
+    env.run()
+    assert received == ["real"]
+
+
+def test_env_event_factory_and_peek():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(5)
+    assert env.peek() == 5.0
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_until_event_that_needs_no_steps():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2)
+        return "ok"
+
+    event = env.process(proc())
+    assert env.run(until=event) == "ok"
+    # Running until an already-finished process returns immediately.
+    assert env.run(until=event) == "ok"

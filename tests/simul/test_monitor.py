@@ -1,0 +1,89 @@
+"""Unit tests for simulation monitors and random streams."""
+
+import pytest
+
+from repro.simul import Counter, Environment, RandomStreams, TimeSeries
+
+
+def _env_at(times, fn):
+    """Run ``fn(env)`` after advancing the clock to each time in order."""
+    env = Environment()
+
+    def proc():
+        last = 0.0
+        for t in times:
+            yield env.timeout(t - last)
+            fn(env)
+            last = t
+
+    env.process(proc())
+    env.run()
+    return env
+
+
+def test_counter_rates():
+    env = Environment()
+    counter = Counter(env, "requests")
+
+    def proc():
+        for __ in range(10):
+            counter.increment()
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+    assert counter.total == 10
+    assert counter.count_between(0, 5) == 5
+    assert counter.rate_between(0, 10) == pytest.approx(1.0)
+
+
+def test_counter_rejects_negative():
+    env = Environment()
+    counter = Counter(env)
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+
+
+def test_counter_empty_window_rejected():
+    env = Environment()
+    counter = Counter(env)
+    with pytest.raises(ValueError):
+        counter.rate_between(5, 5)
+
+
+def test_timeseries_window():
+    env = Environment()
+    series = TimeSeries(env, "latency")
+
+    def proc():
+        for i in range(5):
+            series.record(float(i * 10))
+            yield env.timeout(2)
+
+    env.process(proc())
+    env.run()
+    assert len(series) == 5
+    assert series.window(2, 6) == [(2.0, 10.0), (4.0, 20.0)]
+    assert series.values_after(6) == [30.0, 40.0]
+
+
+def test_random_streams_reproducible():
+    a = RandomStreams(seed=7)
+    b = RandomStreams(seed=7)
+    assert a.stream("x").random() == b.stream("x").random()
+
+
+def test_random_streams_independent_names():
+    streams = RandomStreams(seed=7)
+    assert streams.stream("x").random() != streams.stream("y").random()
+
+
+def test_lognormal_factor_zero_sigma_is_identity():
+    streams = RandomStreams(seed=7)
+    assert streams.lognormal_factor("noise", sigma=0.0) == 1.0
+
+
+def test_lognormal_factor_positive():
+    streams = RandomStreams(seed=7)
+    factor = streams.lognormal_factor("noise", sigma=0.3)
+    assert factor > 0

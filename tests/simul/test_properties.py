@@ -1,0 +1,115 @@
+"""Property-based tests for kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simul import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_events_fire_in_nondecreasing_time(delays):
+    env = Environment()
+    fired = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(proc(delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30),
+    seedless=st.booleans(),
+)
+def test_simulation_is_deterministic(delays, seedless):
+    def trace():
+        env = Environment()
+        log = []
+
+        def proc(i, delay):
+            yield env.timeout(delay)
+            log.append((env.now, i))
+
+        for i, delay in enumerate(delays):
+            env.process(proc(i, delay))
+        env.run()
+        return log
+
+    assert trace() == trace()
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    n_workers=st.integers(min_value=1, max_value=20),
+    service=st.floats(min_value=0.1, max_value=10),
+)
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity(capacity, n_workers, service):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    max_seen = 0
+
+    def worker():
+        nonlocal max_seen
+        with resource.request() as req:
+            yield req
+            max_seen = max(max_seen, resource.count)
+            yield env.timeout(service)
+
+    for __ in range(n_workers):
+        env.process(worker())
+    env.run()
+    assert max_seen <= capacity
+    assert resource.count == 0
+
+
+@given(items=st.lists(st.integers(), max_size=50))
+def test_store_preserves_order_and_content(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for __ in range(len(items)):
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == items
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=30),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+def test_bounded_store_never_overflows(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    max_level = 0
+
+    def producer():
+        nonlocal max_level
+        for item in items:
+            yield store.put(item)
+            max_level = max(max_level, store.level)
+
+    def consumer():
+        for __ in range(len(items)):
+            yield env.timeout(1)
+            yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert max_level <= capacity

@@ -1,0 +1,154 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simul import Environment, Resource, Store
+
+
+def test_resource_capacity_enforced():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    finish_times = {}
+
+    def worker(name):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10)
+        finish_times[name] = env.now
+
+    for name in ["a", "b", "c"]:
+        env.process(worker(name))
+    env.run()
+    # Two run concurrently, the third waits for a slot.
+    assert finish_times == {"a": 10.0, "b": 10.0, "c": 20.0}
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def worker(name):
+        with resource.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    for name in "abcd":
+        env.process(worker(name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_count_tracks_usage():
+    env = Environment()
+    resource = Resource(env, capacity=3)
+    observed = []
+
+    def worker(start):
+        yield env.timeout(start)
+        with resource.request() as req:
+            yield req
+            observed.append(resource.count)
+            yield env.timeout(5)
+
+    for start in range(3):
+        env.process(worker(start))
+    env.run()
+    assert observed == [1, 2, 3]
+    assert resource.count == 0
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for __ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    arrival = []
+
+    def consumer():
+        item = yield store.get()
+        arrival.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert arrival == [(7.0, "x")]
+
+
+def test_bounded_store_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    put_times = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            put_times.append(env.now)
+
+    def consumer():
+        for __ in range(3):
+            yield env.timeout(10)
+            yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    # First put is immediate; each later one waits for a get.
+    assert put_times == [0.0, 10.0, 20.0]
+
+
+def test_store_try_put_and_try_get():
+    env = Environment()
+    store = Store(env, capacity=1)
+    assert store.try_put("a") is True
+    assert store.try_put("b") is False
+    ok, item = store.try_get()
+    assert (ok, item) == (True, "a")
+    ok, item = store.try_get()
+    assert ok is False
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_level():
+    env = Environment()
+    store = Store(env)
+    store.try_put(1)
+    store.try_put(2)
+    assert store.level == 2
+    assert len(store) == 2

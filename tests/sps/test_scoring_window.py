@@ -1,0 +1,81 @@
+"""Unit tests for Flink's scoring count-window (§7.1 recommendation)."""
+
+import pytest
+
+from repro.config import ExperimentConfig, WorkloadKind
+from repro.core.runner import run_experiment
+from repro.errors import ConfigError
+
+
+def test_config_validation():
+    ExperimentConfig(sps="flink", serving="tf_serving", scoring_window=8)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(sps="kafka_streams", serving="tf_serving", scoring_window=8)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(
+            sps="flink", serving="tf_serving", scoring_window=8, async_io=4
+        )
+
+
+def test_window_of_one_is_default_path():
+    """scoring_window=1 is semantically the paper's event-at-a-time."""
+    from repro.serving import create_serving_tool
+    from repro.simul import Environment
+    from repro.sps.flink.engine import FlinkProcessor
+    from repro.sps.gateways import DirectInput, DirectOutput
+
+    env = Environment()
+    tool = create_serving_tool("tf_serving", env, "ffnn")
+    engine = FlinkProcessor(
+        env, tool, DirectInput(env), DirectOutput(env), scoring_window=1
+    )
+    assert engine.scoring_window == 0
+
+
+def test_window_improves_external_throughput():
+    base = ExperimentConfig(
+        sps="flink", serving="tf_serving", model="ffnn", ir=None, duration=2.0
+    )
+    plain = run_experiment(base)
+    windowed = run_experiment(base.replace(scoring_window=16))
+    assert windowed.throughput > 1.5 * plain.throughput
+
+
+def test_window_flushes_on_idle_stream():
+    """At 2 ev/s a 16-event window must not hold events back."""
+    config = ExperimentConfig(
+        sps="flink",
+        serving="tf_serving",
+        model="ffnn",
+        workload=WorkloadKind.CLOSED_LOOP,
+        ir=2.0,
+        duration=5.0,
+        scoring_window=16,
+    )
+    result = run_experiment(config)
+    assert result.completed >= 8
+    assert result.latency.mean < 0.02  # no multi-second window waits
+
+
+def test_all_events_complete_exactly_once():
+    config = ExperimentConfig(
+        sps="flink",
+        serving="tf_serving",
+        model="ffnn",
+        ir=300.0,
+        duration=3.0,
+        scoring_window=8,
+    )
+    result = run_experiment(config)
+    assert result.duplicates == 0
+    assert result.completed == pytest.approx(300 * 3, rel=0.1)
+
+
+def test_window_works_with_embedded_too():
+    """Grouping embedded calls amortizes the FFI boundary as well."""
+    base = ExperimentConfig(
+        sps="flink", serving="dl4j", model="ffnn", ir=None, duration=2.0
+    )
+    plain = run_experiment(base)
+    windowed = run_experiment(base.replace(scoring_window=16))
+    assert windowed.throughput > plain.throughput

@@ -1,0 +1,110 @@
+"""Sanity tests for the calibration constants.
+
+These pin the *relationships* the paper's findings depend on, so a
+future retune cannot silently invert a conclusion.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import calibration as cal
+
+
+def test_all_profiles_registered():
+    assert set(cal.SERVING_PROFILES) == {
+        "onnx", "dl4j", "savedmodel", "tf_serving", "torchserve", "ray_serve",
+    }
+    for name, profile in cal.SERVING_PROFILES.items():
+        assert profile.name == name
+
+
+def test_profiles_are_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cal.ONNX_PROFILE.call_overhead = 0.0  # type: ignore[misc]
+
+
+def test_positive_costs_everywhere():
+    for profile in cal.SERVING_PROFILES.values():
+        assert profile.call_overhead >= 0
+        assert profile.convert_per_value > 0
+        assert profile.flops_per_sec > 0
+        assert profile.contention_alpha >= 0
+        assert profile.noise_sigma >= 0
+        assert profile.gpu_speedup >= 1.0
+
+
+def test_onnx_is_the_fastest_embedded_engine():
+    """Table 4's ordering starts here."""
+    onnx, saved, dl4j = (
+        cal.ONNX_PROFILE, cal.SAVEDMODEL_PROFILE, cal.DL4J_PROFILE
+    )
+    marginal = lambda p: p.convert_per_value * 784 + 55_000 / p.flops_per_sec
+    assert marginal(onnx) < marginal(saved) < marginal(dl4j)
+
+
+def test_torchserve_has_highest_request_overhead():
+    others = [p.call_overhead for n, p in cal.SERVING_PROFILES.items() if n != "torchserve"]
+    assert cal.TORCHSERVE_PROFILE.call_overhead > max(others)
+
+
+def test_tf_serving_large_model_serialized():
+    assert cal.TF_SERVING_PROFILE.large_model_concurrency == 1
+    assert cal.TORCHSERVE_PROFILE.large_model_concurrency is None
+
+
+def test_dl4j_parallelism_cap():
+    assert cal.DL4J_PROFILE.max_parallelism == 8
+
+
+def test_sps_fixed_overheads_ordering():
+    """Table 5's engine ordering for embedded serving comes from the
+    per-event fixed costs: Spark < Kafka Streams < Flink."""
+    def fixed(profile):
+        return (
+            profile.source_overhead
+            + profile.score_overhead
+            + profile.sink_overhead
+        )
+
+    assert fixed(cal.SPARK_PROFILE) < fixed(cal.KAFKA_STREAMS_PROFILE)
+    assert fixed(cal.KAFKA_STREAMS_PROFILE) < fixed(cal.FLINK_PROFILE)
+
+
+def test_ray_overheads_dominate_everything():
+    assert cal.RAY_ACTOR_OVERHEAD > 10 * (
+        cal.FLINK_PROFILE.source_overhead
+        + cal.FLINK_PROFILE.score_overhead
+        + cal.FLINK_PROFILE.sink_overhead
+    )
+
+
+def test_ray_serve_proxy_matches_fig11_ceiling():
+    """1 / proxy cost ~ the paper's 455 ev/s external ceiling on Ray."""
+    assert 1.0 / cal.RAY_SERVE_PROXY_COST == pytest.approx(455, rel=0.05)
+
+
+def test_network_matches_paper_pings():
+    """§4.2: RTT(3 KB) ~ 0.945 ms, RTT(64 KB) ~ 1.565 ms."""
+    def rtt(nbytes):
+        return 2 * cal.NET_BASE_LATENCY + nbytes / cal.NET_BANDWIDTH
+
+    assert rtt(3 * 1024) == pytest.approx(0.945e-3, rel=0.1)
+    assert rtt(64 * 1024) == pytest.approx(1.565e-3, rel=0.15)
+
+
+def test_json_point_size_matches_paper():
+    """§4.2 sizes one FFNN data point at ~3 KB."""
+    nbytes = 784 * cal.JSON_BYTES_PER_VALUE + cal.JSON_ENVELOPE_BYTES
+    assert 2.5 * 1024 <= nbytes <= 3.6 * 1024
+
+
+def test_noise_hierarchy_for_fig8():
+    """TF-Serving must be the volatile engine, ONNX the stable one."""
+    assert cal.TF_SERVING_PROFILE.slow_sigma > 3 * cal.ONNX_PROFILE.slow_sigma
+    assert cal.TF_SERVING_PROFILE.noise_sigma > cal.ONNX_PROFILE.noise_sigma
+
+
+def test_gpu_speedups_match_fig9_ordering():
+    """TF-Serving gains more from the GPU than ONNX (Fig. 9)."""
+    assert cal.TF_SERVING_PROFILE.gpu_speedup > cal.ONNX_PROFILE.gpu_speedup

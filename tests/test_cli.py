@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "flink" in out
+    assert "tf_serving" in out
+    assert "resnet50" in out
+
+
+def test_run_command(capsys):
+    code = main(["run", "--sps", "flink", "--serving", "onnx", "--duration", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "flink/onnx/ffnn" in out
+
+
+def test_latency_command(capsys):
+    code = main(
+        ["latency", "--sps", "flink", "--serving", "onnx", "--bsz", "8", "--duration", "2"]
+    )
+    assert code == 0
+    assert "ms/batch" in capsys.readouterr().out
+
+
+def test_bursts_command(capsys):
+    code = main(
+        [
+            "bursts", "--sps", "flink", "--serving", "onnx",
+            "--bd", "1", "--tbb", "3", "--bursts", "1", "--duration", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sustainable throughput" in out
+    assert "burst 1" in out
+
+
+def test_sweep_command(capsys):
+    code = main(
+        [
+            "sweep", "--sps", "flink", "--serving", "onnx",
+            "--duration", "1", "--field", "mp", "--values", "1,2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sweep over mp" in out
+    assert "events/s" in out
+
+
+def test_json_export(tmp_path, capsys):
+    path = str(tmp_path / "out.json")
+    code = main(["run", "--duration", "1", "--json", path])
+    assert code == 0
+    import json
+
+    with open(path) as handle:
+        records = json.load(handle)
+    assert records[0]["config"]["sps"] == "flink"
+    assert records[0]["throughput"] > 0
+
+
+def test_async_io_flag(capsys):
+    code = main(
+        [
+            "run", "--serving", "tf_serving", "--duration", "1",
+            "--async-io", "8", "--server-workers", "4",
+        ]
+    )
+    assert code == 0
+    assert "throughput" in capsys.readouterr().out
+
+
+def test_invalid_choice_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--sps", "storm"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
