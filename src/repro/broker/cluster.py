@@ -17,6 +17,7 @@ from repro.broker.topic import Topic
 from repro.errors import ConfigError, MessageTooLargeError, UnknownTopicError
 from repro.netsim import Link
 from repro.simul import Environment, Resource
+from repro.tracing.spans import NO_TRACE
 
 
 class BrokerCluster:
@@ -28,6 +29,7 @@ class BrokerCluster:
         broker_count: int = cal.BROKER_COUNT,
         max_request_bytes: float = cal.BROKER_MAX_REQUEST_BYTES,
         link: Link | None = None,
+        tracer: typing.Any = NO_TRACE,
     ) -> None:
         if broker_count < 1:
             raise ConfigError(f"need >= 1 broker, got {broker_count}")
@@ -35,6 +37,7 @@ class BrokerCluster:
         self.broker_count = broker_count
         self.max_request_bytes = max_request_bytes
         self.link = link if link is not None else Link()
+        self.tracer = tracer
         self._topics: dict[str, Topic] = {}
         # One service unit per broker: appends/fetches to its partitions
         # queue here.
@@ -81,13 +84,19 @@ class BrokerCluster:
                 f"{self.max_request_bytes:.0f} B"
             )
         log = self.topic(topic).partition(partition)
+        span = self.tracer.begin(value, f"broker.send:{topic}")
         yield self.env.timeout(self.link.transfer_time(nbytes))
+        self.tracer.end(span)
         broker = self.broker_for(topic, partition)
+        wait = self.tracer.begin(value, f"broker.append_wait:{topic}")
         with broker.request() as req:
             yield req
+            self.tracer.end(wait)
+            span = self.tracer.begin(value, f"broker.append:{topic}")
             service = cal.BROKER_APPEND_OVERHEAD + nbytes / cal.BROKER_IO_BANDWIDTH
             yield self.env.timeout(service)
             record = log.append(timestamp, value, nbytes)
+            self.tracer.end(span)
         return RecordMetadata(
             topic=topic,
             partition=partition,
@@ -104,6 +113,7 @@ class BrokerCluster:
         """
         log = self.topic(topic).partition(partition)
         records = log.fetch(offset, max_records)
+        fetch_start = self.env.now
         broker = self.broker_for(topic, partition)
         with broker.request() as req:
             yield req
@@ -113,6 +123,7 @@ class BrokerCluster:
         if records:
             total = sum(r.nbytes for r in records)
             yield self.env.timeout(self.link.transfer_time(total))
+        self._trace_fetched(topic, records, fetch_start)
         return list(records)
 
     def fetch_many(
@@ -132,6 +143,7 @@ class BrokerCluster:
         Returns ``(records, new_offsets)``.
         """
         topic_obj = self.topic(topic)
+        fetch_start = self.env.now
         records: list[ConsumerRecord] = []
         new_offsets = dict(offsets)
         byte_budget = self.max_request_bytes  # Kafka's fetch.max.bytes
@@ -162,7 +174,34 @@ class BrokerCluster:
             yield self.env.timeout(service)
         if records and data_transfer:
             yield self.env.timeout(self.link.transfer_time(nbytes))
+        self._trace_fetched(topic, records, fetch_start)
         return records, new_offsets
+
+    def _trace_fetched(
+        self,
+        topic: str,
+        records: typing.Sequence[ConsumerRecord],
+        fetch_start: float,
+    ) -> None:
+        """Attribute topic dwell and fetch time to each sampled record.
+
+        *Dwell* runs from the record's LogAppendTime to the moment the
+        consumer's fetch found it — the backlog wait when the SUT cannot
+        keep up. *Fetch* covers broker service + transfer back.
+        """
+        if not self.tracer.enabled:
+            return
+        for record in records:
+            ctx = self.tracer.context_of(record.value)
+            if ctx is None:
+                continue
+            self.tracer.record(
+                ctx,
+                f"broker.dwell:{topic}",
+                start=record.log_append_time,
+                end=fetch_start,
+            )
+            self.tracer.record(ctx, f"broker.fetch:{topic}", start=fetch_start)
 
     def wait_for_data(self, topic: str, partition: int, offset: int):
         """Event firing once the partition has records past ``offset``."""

@@ -154,6 +154,45 @@ def _cmd_bursts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.report import format_breakdown
+    from repro.core.runner import ExperimentRunner
+    from repro.tracing.analysis import bottleneck_ranking
+    from repro.tracing.export import save_chrome_trace, save_spans_csv
+    from repro.tracing.spans import TraceOptions
+
+    config = _config_from(args, ir=args.ir)
+    options = TraceOptions(
+        sample_every=args.sample_every, max_traces=args.max_traces
+    )
+    result = ExperimentRunner(config).run(trace=options)
+    tracer = result.trace
+    finished = tracer.finished_trace_ids()
+    print(
+        f"{config.label()}: traced {len(finished)} records "
+        f"({tracer.span_count} spans, {tracer.dropped} dropped by cap)"
+    )
+    if not finished:
+        print("no record completed within the run; nothing to analyze")
+        return 1
+    print()
+    print(format_breakdown(tracer))
+    print()
+    ranked = bottleneck_ranking(tracer, top=3)
+    print("bottleneck ranking:")
+    for rank, stat in enumerate(ranked, start=1):
+        print(
+            f"  {rank}. {stat.stage}: {stat.share * 100:.1f}% of latency "
+            f"({format_ms(stat.mean)} ms/record)"
+        )
+    save_chrome_trace(tracer, args.out)
+    print(f"\nChrome trace written to {args.out} (open in chrome://tracing)")
+    if args.csv:
+        save_spans_csv(tracer, args.csv)
+        print(f"span CSV written to {args.csv}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print(format_table(["kind", "names"], [
         ("stream processors", ", ".join(SPS_NAMES)),
@@ -196,6 +235,28 @@ def build_parser() -> argparse.ArgumentParser:
     burst_cmd.add_argument("--tbb", type=float, default=12.0, help="time between bursts (s)")
     burst_cmd.add_argument("--bursts", type=int, default=3)
     burst_cmd.set_defaults(func=_cmd_bursts)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="trace one experiment: per-stage latency breakdown"
+    )
+    _add_sut_args(trace_cmd)
+    trace_cmd.add_argument("--ir", type=float, default=None, help="input rate; omit to saturate")
+    trace_cmd.add_argument(
+        "--sample-every", type=int, default=1, dest="sample_every",
+        help="trace every Nth record (head-based sampling)",
+    )
+    trace_cmd.add_argument(
+        "--max-traces", type=int, default=4096, dest="max_traces",
+        help="hard cap on admitted traces (bounds memory)",
+    )
+    trace_cmd.add_argument(
+        "--out", default="crayfish_trace.json",
+        help="Chrome trace_event output path",
+    )
+    trace_cmd.add_argument(
+        "--csv", default=None, help="also write spans as CSV to this path"
+    )
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     list_cmd = commands.add_parser("list", help="registered components")
     list_cmd.set_defaults(func=_cmd_list)

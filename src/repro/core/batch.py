@@ -12,6 +12,7 @@ import math
 
 from repro.errors import ConfigError
 from repro.netsim import json_payload
+from repro.tracing.spans import TraceContext
 
 
 @dataclasses.dataclass(frozen=True)
@@ -26,6 +27,9 @@ class CrayfishDataBatch:
     points: int
     #: Shape of one data point (``isz``).
     point_shape: tuple[int, ...]
+    #: Trace context when this record is head-sampled for tracing;
+    #: None (the default) means untraced — the zero-overhead path.
+    trace: TraceContext | None = None
 
     def __post_init__(self) -> None:
         if self.points < 1:

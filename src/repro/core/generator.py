@@ -15,6 +15,7 @@ import typing
 
 from repro.core.batch import CrayfishDataBatch
 from repro.errors import ConfigError
+from repro.tracing.spans import NO_TRACE
 
 
 class RateSchedule:
@@ -115,21 +116,34 @@ class TraceSchedule(RateSchedule):
 
 
 class BatchFactory:
-    """Produces CrayfishDataBatch descriptors with consecutive ids."""
+    """Produces CrayfishDataBatch descriptors with consecutive ids.
 
-    def __init__(self, points: int, point_shape: typing.Sequence[int]) -> None:
+    When a tracer is attached, the head-based sampling decision is taken
+    here, at creation: sampled batches carry a trace context for every
+    downstream component to attach spans to.
+    """
+
+    def __init__(
+        self,
+        points: int,
+        point_shape: typing.Sequence[int],
+        tracer: typing.Any = NO_TRACE,
+    ) -> None:
         if points < 1:
             raise ConfigError(f"points must be >= 1, got {points}")
         self.points = points
         self.point_shape = tuple(int(d) for d in point_shape)
         if not self.point_shape or any(d < 1 for d in self.point_shape):
             raise ConfigError(f"invalid point shape {self.point_shape}")
+        self.tracer = tracer
         self._ids = itertools.count()
 
     def make(self, created_at: float) -> CrayfishDataBatch:
+        batch_id = next(self._ids)
         return CrayfishDataBatch(
-            batch_id=next(self._ids),
+            batch_id=batch_id,
             created_at=created_at,
             points=self.points,
             point_shape=self.point_shape,
+            trace=self.tracer.make_context(batch_id, created_at),
         )

@@ -27,12 +27,14 @@ class LatencyStats:
     p50: float
     p95: float
     p99: float
+    p999: float
     maximum: float
 
     @classmethod
     def from_samples(cls, samples: typing.Sequence[float]) -> "LatencyStats":
         if not samples:
-            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+            nan = math.nan
+            return cls(0, nan, nan, nan, nan, nan, nan, nan, nan)
         ordered = sorted(samples)
         n = len(ordered)
         mean = sum(ordered) / n
@@ -45,14 +47,24 @@ class LatencyStats:
             p50=percentile(ordered, 0.50),
             p95=percentile(ordered, 0.95),
             p99=percentile(ordered, 0.99),
+            p999=percentile(ordered, 0.999),
             maximum=ordered[-1],
         )
 
+    def to_dict(self) -> dict[str, float]:
+        """Field-name -> value mapping (JSON-friendly; NaNs preserved)."""
+        return dataclasses.asdict(self)
+
 
 def percentile(ordered: typing.Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile of an already sorted sample."""
+    """Linear-interpolation percentile of an already sorted sample.
+
+    An empty sample yields NaN — the same convention as
+    :meth:`LatencyStats.from_samples`, so empty measurement windows
+    propagate as NaN statistics instead of raising mid-report.
+    """
     if not ordered:
-        raise ValueError("empty sample")
+        return math.nan
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must be in [0, 1], got {q}")
     if len(ordered) == 1:

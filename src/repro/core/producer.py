@@ -22,6 +22,7 @@ from repro.core.generator import BatchFactory, RateSchedule
 from repro.netsim import json_payload
 from repro.simul import Environment
 from repro.sps.gateways import DirectInput
+from repro.tracing.spans import NO_TRACE
 
 
 class InputProducerBase:
@@ -34,6 +35,7 @@ class InputProducerBase:
         cluster: BrokerCluster | None = None,
         topic: str = "crayfish-input",
         direct: DirectInput | None = None,
+        tracer: typing.Any = NO_TRACE,
     ) -> None:
         if (cluster is None) == (direct is None):
             raise ValueError("provide exactly one of cluster/direct")
@@ -41,6 +43,7 @@ class InputProducerBase:
         self.factory = factory
         self.topic = topic
         self.direct = direct
+        self.tracer = tracer
         self._producer = Producer(env, cluster) if cluster is not None else None
         self.batches_produced = 0
 
@@ -61,7 +64,9 @@ class InputProducerBase:
             return
         payload = json_payload(batch.input_values)
         payload_bytes = payload.nbytes
+        span = self.tracer.begin(batch, "producer.serialize")
         yield self.env.timeout(payload.encode_cost)
+        self.tracer.end(span)
         yield from self._producer.send(
             self.topic,
             value=batch,
@@ -84,7 +89,9 @@ class PacedProducer(InputProducerBase):
             now = self.env.now
             rate = self.schedule.rate_at(now)
             batch = self.factory.make(created_at=now)
+            span = self.tracer.begin(batch, "producer.generate")
             yield self.env.timeout(self._generation_cost(batch))
+            self.tracer.end(span)
             self.env.process(self._deliver(batch))
             interval = 1.0 / rate
             elapsed = self.env.now - now

@@ -45,3 +45,30 @@ def ratio_note(measured: float, paper: float) -> str:
     if paper <= 0:
         return "n/a"
     return f"{measured / paper:.2f}x"
+
+
+def format_breakdown(tracer: typing.Any, title: str | None = None) -> str:
+    """The per-stage latency breakdown of a traced run, as a text table.
+
+    One row per pipeline stage, sorted by total attributed time: mean
+    per-record milliseconds, share of end-to-end latency, and how many
+    sampled records passed through the stage. The shares sum to 1.0 —
+    the attribution tiles each record's latency exactly.
+    """
+    from repro.tracing.analysis import breakdown_table
+
+    stats = breakdown_table(tracer)
+    rows = [
+        (
+            stat.stage,
+            format_ms(stat.mean),
+            f"{stat.share * 100:.1f}%",
+            stat.records,
+        )
+        for stat in stats
+    ]
+    return format_table(
+        ["stage", "mean ms", "share", "records"],
+        rows,
+        title=title or "Latency breakdown (per traced record)",
+    )

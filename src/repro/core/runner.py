@@ -23,6 +23,7 @@ from repro.serving import create_serving_tool
 from repro.simul import Environment, RandomStreams
 from repro.sps import create_data_processor
 from repro.sps.gateways import BrokerInput, BrokerOutput, DirectInput, DirectOutput
+from repro.tracing.spans import NullTracer, Tracer, make_tracer
 
 INPUT_TOPIC = "crayfish-input"
 OUTPUT_TOPIC = "crayfish-output"
@@ -61,6 +62,10 @@ class ExperimentResult:
     #: (time, unconsumed backlog) samples when a backlog probe was
     #: requested; empty otherwise.
     backlog_series: tuple[tuple[float, float], ...] = ()
+    #: The per-record tracer, when the run was started with tracing on
+    #: (``run(trace=...)``); None otherwise. Feed it to
+    #: :mod:`repro.tracing.analysis` / :mod:`repro.tracing.export`.
+    trace: "Tracer | None" = None
 
     @property
     def label(self) -> str:
@@ -127,21 +132,28 @@ class ExperimentRunner:
         self,
         seed: int | None = None,
         backlog_probe_interval: float | None = None,
+        trace: typing.Any = None,
     ) -> ExperimentResult:
         """Execute the experiment; ``seed`` overrides the config seed.
 
         ``backlog_probe_interval`` additionally samples the input topic's
         unconsumed backlog at that period (broker mode only).
+
+        ``trace`` turns on per-record tracing: ``True`` for defaults, a
+        :class:`~repro.tracing.spans.TraceOptions` for sampling knobs.
+        Tracing is observational — it never changes the event sequence,
+        so traced results are identical to untraced ones.
         """
         config = self.config
         env = Environment()
+        tracer = make_tracer(env, trace)
         rng = RandomStreams(config.seed if seed is None else seed)
         # Failure injection can legitimately replay batches to the sink.
         metrics = MetricsCollector(env, strict=not config.fault_tolerant)
 
         # Transport: Kafka (default) or direct in-process (Fig. 13).
         if config.use_broker:
-            cluster = BrokerCluster(env)
+            cluster = BrokerCluster(env, tracer=tracer)
             cluster.create_topic(INPUT_TOPIC, config.partitions)
             cluster.create_topic(OUTPUT_TOPIC, config.partitions)
             input_gateway: typing.Any = BrokerInput(env, cluster, INPUT_TOPIC)
@@ -168,6 +180,7 @@ class ExperimentRunner:
                 else None
             ),
         )
+        tool.tracer = tracer
         if config.adaptive_batching is not None:
             from repro.serving.external.batching import (
                 BatchingPolicy,
@@ -204,10 +217,13 @@ class ExperimentRunner:
             async_io=config.async_io,
             scoring_window=config.scoring_window,
             fault_tolerance=self._fault_tolerance(),
+            tracer=tracer,
         )
 
-        factory = BatchFactory(config.bsz, self._point_shape())
-        producer = self._build_producer(env, factory, metrics, **producer_kwargs)
+        factory = BatchFactory(config.bsz, self._point_shape(), tracer=tracer)
+        producer = self._build_producer(
+            env, factory, metrics, tracer=tracer, **producer_kwargs
+        )
 
         probe = None
         if backlog_probe_interval is not None and config.use_broker:
@@ -240,6 +256,7 @@ class ExperimentRunner:
             duplicates=metrics.duplicates,
             inference_requests=tool.requests_served,
             backlog_series=tuple(probe.series()) if probe is not None else (),
+            trace=tracer if not isinstance(tracer, NullTracer) else None,
         )
 
     def _build_producer(

@@ -13,6 +13,7 @@ import typing
 from repro.errors import ServingError
 from repro.serving.costs import ServingCostModel
 from repro.simul import Environment
+from repro.tracing.spans import NO_TRACE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,6 +37,9 @@ class ServingTool:
     def __init__(self, env: Environment, costs: ServingCostModel) -> None:
         self.env = env
         self.costs = costs
+        #: Installed by the runner when tracing is on; spans inside the
+        #: serving tool attach to the scored record's trace.
+        self.tracer = NO_TRACE
         self._loaded = False
         self.requests_served = 0
 
@@ -52,12 +56,16 @@ class ServingTool:
         yield self.env.timeout(self.costs.load_time())
         self._loaded = True
 
-    def score(self, bsz: int, vectorized: bool = False) -> typing.Generator:
+    def score(
+        self, bsz: int, vectorized: bool = False, ctx: typing.Any = None
+    ) -> typing.Generator:
         """Coroutine: score one batch; returns :class:`ScoringResult`.
 
         ``vectorized`` marks whole-chunk calls whose inputs arrive as one
         contiguous tensor (micro-batch engines), which discounts
-        per-point marshalling.
+        per-point marshalling. ``ctx`` is the traced record (a batch or
+        :class:`~repro.tracing.spans.TraceContext`) serving-internal
+        spans should attach to; None scores untraced.
         """
         raise NotImplementedError
 

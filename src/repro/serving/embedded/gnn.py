@@ -32,17 +32,25 @@ class GnnEmbeddedTool(EmbeddedLibrary):
         self.gcn = gcn
         self.store = store
 
-    def score(self, bsz: int, vectorized: bool = False) -> typing.Generator:
+    def score(
+        self, bsz: int, vectorized: bool = False, ctx: typing.Any = None
+    ) -> typing.Generator:
         self._require_loaded()
         start = self.env.now
         # k-hop neighborhood reads happen before the engine slot is taken:
         # state I/O and inference of different requests overlap.
+        span = self.tracer.begin(ctx, "serving.state_read")
         yield from self.store.read_many(bsz * self.gcn.neighborhood_size)
+        self.tracer.end(span)
+        wait = self.tracer.begin(ctx, "serving.engine_wait")
         with self._engine.request() as slot:
             yield slot
+            self.tracer.end(wait)
+            span = self.tracer.begin(ctx, "serving.inference")
             yield self.env.timeout(
                 self.costs.apply_time(bsz, vectorized=vectorized, now=self.env.now)
             )
+            self.tracer.end(span)
         self.requests_served += 1
         return ScoringResult(
             points=bsz,

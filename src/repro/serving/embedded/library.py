@@ -29,14 +29,20 @@ class EmbeddedLibrary(ServingTool):
         self._engine = Resource(env, capacity=costs.engine_concurrency)
         self.model_swaps = 0
 
-    def score(self, bsz: int, vectorized: bool = False) -> typing.Generator:
+    def score(
+        self, bsz: int, vectorized: bool = False, ctx: typing.Any = None
+    ) -> typing.Generator:
         self._require_loaded()
         start = self.env.now
+        wait = self.tracer.begin(ctx, "serving.engine_wait")
         with self._engine.request() as slot:
             yield slot
+            self.tracer.end(wait)
+            span = self.tracer.begin(ctx, "serving.inference", gpu=self.costs.gpu)
             yield self.env.timeout(
                 self.costs.apply_time(bsz, vectorized=vectorized, now=self.env.now)
             )
+            self.tracer.end(span)
         self.requests_served += 1
         return ScoringResult(
             points=bsz,

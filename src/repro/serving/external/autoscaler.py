@@ -120,12 +120,19 @@ class Autoscaler:
                     self.live -= 1  # retire: the pool shrank below us
                     return
                 continue  # stale pill (a newer scale-up superseded it)
+            tracer = service.tracer
+            tracer.lapse(request.ctx, "serving.queue_wait", "serving.enqueue")
             decode = service.channel.server_decode_cost(
                 request.bsz * model.input_values
             )
+            span = tracer.begin(request.ctx, "serving.decode")
             yield self.env.timeout(decode)
+            tracer.end(span)
+            wait = tracer.begin(request.ctx, "serving.engine_wait")
             with service._engine.request() as slot:
                 yield slot
+                tracer.end(wait)
+                span = tracer.begin(request.ctx, "serving.inference")
                 yield self.env.timeout(
                     service.costs.apply_time(
                         request.bsz,
@@ -133,10 +140,13 @@ class Autoscaler:
                         now=self.env.now,
                     )
                 )
+                tracer.end(span)
             encode = service.channel.server_encode_cost(
                 request.bsz * model.output_values
             )
+            span = tracer.begin(request.ctx, "serving.encode")
             yield self.env.timeout(encode)
+            tracer.end(span)
             request.reply.succeed()
             service.requests_served += 1
 

@@ -87,24 +87,42 @@ def _dispatcher(service, policy: BatchingPolicy) -> typing.Generator:
 
 def _batch_worker(service) -> typing.Generator:
     env = service.env
+    tracer = service.tracer
     model = service.costs.model
     while True:
         batch = yield service._batch_queue.get()
+        for request in batch:
+            tracer.lapse(request.ctx, "serving.queue_wait", "serving.enqueue")
         total_points = sum(request.bsz for request in batch)
         decode = service.channel.server_decode_cost(
             total_points * model.input_values
         )
+        spans = [tracer.begin(r.ctx, "serving.decode") for r in batch]
         yield env.timeout(decode)
+        for span in spans:
+            tracer.end(span)
+        spans = [tracer.begin(r.ctx, "serving.engine_wait") for r in batch]
         with service._engine.request() as slot:
             yield slot
+            for span in spans:
+                tracer.end(span)
             # One engine call for the whole coalesced batch.
+            spans = [
+                tracer.begin(r.ctx, "serving.inference", coalesced=len(batch))
+                for r in batch
+            ]
             yield env.timeout(
                 service.costs.apply_time(total_points, now=env.now)
             )
+            for span in spans:
+                tracer.end(span)
         encode = service.channel.server_encode_cost(
             total_points * model.output_values
         )
+        spans = [tracer.begin(r.ctx, "serving.encode") for r in batch]
         yield env.timeout(encode)
+        for span in spans:
+            tracer.end(span)
         for request in batch:
             request.reply.succeed()
             service.requests_served += 1

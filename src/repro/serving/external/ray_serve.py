@@ -25,8 +25,12 @@ class RayServeTool(ExternalServingService):
         super().__init__(env, costs, channel=HttpChannel())
         self._proxy = Resource(env, capacity=1)
 
-    def _pre_dispatch(self) -> typing.Generator:
+    def _pre_dispatch(self, ctx: typing.Any = None) -> typing.Generator:
         """Every request crosses the node's single HTTP proxy."""
+        wait = self.tracer.begin(ctx, "serving.proxy_wait")
         with self._proxy.request() as slot:
             yield slot
+            self.tracer.end(wait)
+            span = self.tracer.begin(ctx, "serving.proxy")
             yield self.env.timeout(cal.RAY_SERVE_PROXY_COST)
+            self.tracer.end(span)

@@ -23,6 +23,8 @@ class _Request:
     bsz: int
     reply: Event
     vectorized: bool = False
+    #: Trace subject of the record being scored (None when untraced).
+    ctx: typing.Any = None
 
 
 class ExternalServingService(ServingTool):
@@ -61,14 +63,22 @@ class ExternalServingService(ServingTool):
         model = self.costs.model
         while True:
             request: _Request = yield self._queue.get()
+            self.tracer.lapse(request.ctx, "serving.queue_wait", "serving.enqueue")
             decode = self.channel.server_decode_cost(
                 request.bsz * model.input_values
             )
+            span = self.tracer.begin(request.ctx, "serving.decode")
             yield self.env.timeout(decode)
+            self.tracer.end(span)
             # Inference proper runs under the engine's concurrency cap
             # (e.g. TF-Serving executes large models in one session).
+            wait = self.tracer.begin(request.ctx, "serving.engine_wait")
             with self._engine.request() as slot:
                 yield slot
+                self.tracer.end(wait)
+                span = self.tracer.begin(
+                    request.ctx, "serving.inference", gpu=self.costs.gpu
+                )
                 yield self.env.timeout(
                     self.costs.apply_time(
                         request.bsz,
@@ -76,22 +86,27 @@ class ExternalServingService(ServingTool):
                         now=self.env.now,
                     )
                 )
+                self.tracer.end(span)
             encode = self.channel.server_encode_cost(
                 request.bsz * model.output_values
             )
+            span = self.tracer.begin(request.ctx, "serving.encode")
             yield self.env.timeout(encode)
+            self.tracer.end(span)
             request.reply.succeed()
             self.requests_served += 1
 
     # -- client side -------------------------------------------------------
 
-    def _pre_dispatch(self) -> typing.Generator:
+    def _pre_dispatch(self, ctx: typing.Any = None) -> typing.Generator:
         """Hook for ingress costs paid before a request reaches a worker
         (Ray Serve's single HTTP proxy overrides this)."""
         return
         yield  # pragma: no cover - makes this a generator
 
-    def score(self, bsz: int, vectorized: bool = False) -> typing.Generator:
+    def score(
+        self, bsz: int, vectorized: bool = False, ctx: typing.Any = None
+    ) -> typing.Generator:
         """Coroutine run by the SPS scoring task: one blocking RPC."""
         self._require_loaded()
         start = self.env.now
@@ -101,13 +116,22 @@ class ExternalServingService(ServingTool):
             response_values=bsz * model.output_values,
         )
         # Client-side CPU: stub call + request encode + response decode.
+        span = self.tracer.begin(ctx, "rpc.client_cpu")
         yield self.env.timeout(costs.client_cpu)
+        self.tracer.end(span)
+        span = self.tracer.begin(ctx, "rpc.request_transfer")
         yield self.env.timeout(costs.request_transfer)
-        yield from self._pre_dispatch()
+        self.tracer.end(span)
+        yield from self._pre_dispatch(ctx)
         reply = Event(self.env)
-        yield self._queue.put(_Request(bsz=bsz, reply=reply, vectorized=vectorized))
+        self.tracer.mark(ctx, "serving.enqueue")
+        yield self._queue.put(
+            _Request(bsz=bsz, reply=reply, vectorized=vectorized, ctx=ctx)
+        )
         yield reply
+        span = self.tracer.begin(ctx, "rpc.response_transfer")
         yield self.env.timeout(costs.response_transfer)
+        self.tracer.end(span)
         return ScoringResult(
             points=bsz,
             output_values=bsz * model.output_values,

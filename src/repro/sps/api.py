@@ -17,6 +17,7 @@ from repro.netsim import json_payload
 from repro.serving.base import ServingTool
 from repro.simul import Environment
 from repro.sps.gateways import InputGateway, OutputGateway
+from repro.tracing.spans import NO_TRACE
 
 #: Called with (batch, end_timestamp) when a batch leaves the pipeline.
 CompletionCallback = typing.Callable[[CrayfishDataBatch, float], None]
@@ -37,6 +38,7 @@ class DataProcessor:
         mp: int = 1,
         on_complete: CompletionCallback | None = None,
         output_values_per_point: int = 1,
+        tracer: typing.Any = NO_TRACE,
     ) -> None:
         self.env = env
         self.tool = tool
@@ -45,6 +47,7 @@ class DataProcessor:
         self.mp = mp
         self.on_complete = on_complete
         self.output_values_per_point = output_values_per_point
+        self.tracer = tracer
         self.batches_completed = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -98,6 +101,9 @@ class DataProcessor:
 
     def _complete(self, batch: CrayfishDataBatch, end_time: float) -> None:
         self.batches_completed += 1
+        # The root span closes at the same end timestamp the metrics
+        # collector records, so root duration == measured e2e latency.
+        self.tracer.close_root(batch, end_time)
         if self.on_complete is not None:
             self.on_complete(batch, end_time)
 

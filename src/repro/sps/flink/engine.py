@@ -98,14 +98,18 @@ class FlinkProcessor(DataProcessor):
         ) * self.slowdown
 
     def _score(self, event: InputEvent) -> typing.Generator:
+        span = self.tracer.begin(event.batch, "flink.score")
         yield self.env.timeout(self.profile.score_overhead * self.slowdown)
-        yield from self.tool.score(event.batch.points)
+        yield from self.tool.score(event.batch.points, ctx=event.batch)
+        self.tracer.end(span)
 
     def _sink(self, event: InputEvent) -> typing.Generator:
         batch = event.batch
+        span = self.tracer.begin(batch, "flink.sink")
         yield self.env.timeout(
             (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
         )
+        self.tracer.end(span)
         self.emit_and_complete(batch)
 
     # -- task loops ----------------------------------------------------------
@@ -119,16 +123,22 @@ class FlinkProcessor(DataProcessor):
         inflight = Resource(self.env, capacity=self.async_io) if self.async_io else None
         while True:
             events = yield from source.poll()
+            polled_at = self.env.now
             for event in events:
+                self.tracer.record(event.batch, "flink.task_queue", start=polled_at)
+                span = self.tracer.begin(event.batch, "flink.source")
                 yield self.env.timeout(self._source_cost(event))
+                self.tracer.end(span)
                 if inflight is None:
                     yield from self._score(event)
                     yield from self._sink(event)
                 else:
                     # Async I/O: park the request with a capacity-bounded
                     # in-flight window; the task moves on to the next event.
+                    wait = self.tracer.begin(event.batch, "flink.async_wait")
                     slot = inflight.request()
                     yield slot
+                    self.tracer.end(wait)
                     self.env.process(self._async_round_trip(event, inflight, slot))
 
     def _windowed_task(self, member: int, members: int) -> typing.Generator:
@@ -142,8 +152,13 @@ class FlinkProcessor(DataProcessor):
         window: list[InputEvent] = []
         while True:
             events = yield from source.poll()
+            polled_at = self.env.now
             for event in events:
+                self.tracer.record(event.batch, "flink.task_queue", start=polled_at)
+                span = self.tracer.begin(event.batch, "flink.source")
                 yield self.env.timeout(self._source_cost(event))
+                self.tracer.end(span)
+                self.tracer.mark(event.batch, "flink.windowed")
                 window.append(event)
                 if len(window) >= self.scoring_window:
                     yield from self._flush_window(window)
@@ -153,9 +168,17 @@ class FlinkProcessor(DataProcessor):
                 window = []
 
     def _flush_window(self, window: list[InputEvent]) -> typing.Generator:
+        for event in window:
+            self.tracer.lapse(event.batch, "flink.window_wait", "flink.windowed")
+        spans = [
+            self.tracer.begin(event.batch, "flink.score", window=len(window))
+            for event in window
+        ]
         yield self.env.timeout(self.profile.score_overhead * self.slowdown)
         total_points = sum(event.batch.points for event in window)
         yield from self.tool.score(total_points)
+        for span in spans:
+            self.tracer.end(span)
         for event in window:
             yield from self._sink(event)
 
@@ -168,17 +191,29 @@ class FlinkProcessor(DataProcessor):
         source = self.input.make_source(member, members)
         while True:
             events = yield from source.poll()
+            polled_at = self.env.now
             for event in events:
+                self.tracer.record(event.batch, "flink.task_queue", start=polled_at)
+                span = self.tracer.begin(event.batch, "flink.source")
                 yield self.env.timeout(self._source_cost(event))
+                self.tracer.end(span)
+                wait = self.tracer.begin(event.batch, "flink.buffer_wait")
                 yield downstream.put(event)  # blocks when buffers are full
+                self.tracer.end(wait)
+                self.tracer.mark(event.batch, "flink.exchange")
 
     def _scoring_task(self, upstream: Store, downstream: Store) -> typing.Generator:
         while True:
             event = yield upstream.get()
+            self.tracer.lapse(event.batch, "flink.exchange_wait", "flink.exchange")
             yield from self._score(event)
+            wait = self.tracer.begin(event.batch, "flink.buffer_wait")
             yield downstream.put(event)
+            self.tracer.end(wait)
+            self.tracer.mark(event.batch, "flink.exchange")
 
     def _sink_task(self, upstream: Store) -> typing.Generator:
         while True:
             event = yield upstream.get()
+            self.tracer.lapse(event.batch, "flink.exchange_wait", "flink.exchange")
             yield from self._sink(event)

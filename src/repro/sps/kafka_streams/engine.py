@@ -43,18 +43,26 @@ class KafkaStreamsProcessor(DataProcessor):
         source = self.input.make_source(member, members)
         while True:
             events = yield from source.poll()
+            polled_at = self.env.now
             # Poll-cycle bookkeeping (offset commits, rebalance liveness):
             # a fixed cost per cycle, amortized across the cycle's records.
             yield self.env.timeout(cal.KAFKA_STREAMS_POLL_INTERVAL)
             for event in events:
+                self.tracer.record(event.batch, "kafka_streams.poll", start=polled_at)
                 yield from self._process_one(event)
 
     def _process_one(self, event: InputEvent) -> typing.Generator:
         batch = event.batch
         consume = (self.profile.source_overhead + self.decode_cost(batch)) * self.slowdown
+        span = self.tracer.begin(batch, "kafka_streams.consume")
         yield self.env.timeout(consume)
+        self.tracer.end(span)
+        span = self.tracer.begin(batch, "kafka_streams.score")
         yield self.env.timeout(self.profile.score_overhead * self.slowdown)
-        yield from self.tool.score(batch.points)
+        yield from self.tool.score(batch.points, ctx=batch)
+        self.tracer.end(span)
         produce = (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
+        span = self.tracer.begin(batch, "kafka_streams.produce")
         yield self.env.timeout(produce)
+        self.tracer.end(span)
         self.emit_and_complete(batch)

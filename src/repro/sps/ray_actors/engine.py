@@ -43,34 +43,56 @@ class RayProcessor(DataProcessor):
         source = self.input.make_source(member, members)
         while True:
             events = yield from source.poll()
+            polled_at = self.env.now
             for event in events:
+                self.tracer.record(event.batch, "ray.task_queue", start=polled_at)
+                span = self.tracer.begin(event.batch, "ray.input_actor")
                 yield self.env.timeout(
                     cal.RAY_ACTOR_OVERHEAD
                     + self.profile.source_overhead
                     + self.decode_cost(event.batch)
                 )
+                self.tracer.end(span)
+                wait = self.tracer.begin(event.batch, "ray.mailbox_wait")
                 yield downstream.put(event)
+                self.tracer.end(wait)
+                self.tracer.mark(event.batch, "ray.mailbox")
 
     def _scoring_actor(self, upstream: Store, downstream: Store) -> typing.Generator:
         while True:
             event = yield upstream.get()
+            self.tracer.lapse(event.batch, "ray.mailbox_dwell", "ray.mailbox")
+            span = self.tracer.begin(event.batch, "ray.scoring_actor")
             yield self.env.timeout(
                 cal.RAY_ACTOR_OVERHEAD + self.profile.score_overhead
             )
+            self.tracer.end(span)
             # Delivery into the scoring stage crosses the node scheduler.
+            wait = self.tracer.begin(event.batch, "ray.scheduler_wait")
             with self._node.request() as slot:
                 yield slot
+                self.tracer.end(wait)
+                span = self.tracer.begin(event.batch, "ray.scheduler")
                 yield self.env.timeout(cal.RAY_NODE_PER_MESSAGE)
-            yield from self.tool.score(event.batch.points)
+                self.tracer.end(span)
+            span = self.tracer.begin(event.batch, "ray.score")
+            yield from self.tool.score(event.batch.points, ctx=event.batch)
+            self.tracer.end(span)
+            wait = self.tracer.begin(event.batch, "ray.mailbox_wait")
             yield downstream.put(event)
+            self.tracer.end(wait)
+            self.tracer.mark(event.batch, "ray.mailbox")
 
     def _output_actor(self, upstream: Store) -> typing.Generator:
         while True:
             event: InputEvent = yield upstream.get()
             batch = event.batch
+            self.tracer.lapse(batch, "ray.mailbox_dwell", "ray.mailbox")
+            span = self.tracer.begin(batch, "ray.output_actor")
             yield self.env.timeout(
                 cal.RAY_ACTOR_OVERHEAD
                 + self.profile.sink_overhead
                 + self.encode_cost(batch)
             )
+            self.tracer.end(span)
             self.emit_and_complete(batch)

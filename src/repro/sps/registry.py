@@ -17,6 +17,7 @@ from repro.sps.gateways import InputGateway, OutputGateway
 from repro.sps.kafka_streams import KafkaStreamsProcessor
 from repro.sps.ray_actors import RayProcessor
 from repro.sps.spark import SparkProcessor
+from repro.tracing.spans import NO_TRACE
 
 ENGINES: dict[str, type[DataProcessor]] = {
     "flink": FlinkProcessor,
@@ -39,6 +40,7 @@ def create_data_processor(
     async_io: int = 0,
     scoring_window: int = 0,
     fault_tolerance: "FaultToleranceConfig | None" = None,
+    tracer: typing.Any = NO_TRACE,
 ) -> DataProcessor:
     """Build the named engine wired to a serving tool and gateways."""
     try:
@@ -73,5 +75,6 @@ def create_data_processor(
         mp=mp,
         on_complete=on_complete,
         output_values_per_point=output_values_per_point,
+        tracer=tracer,
         **kwargs,
     )

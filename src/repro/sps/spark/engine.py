@@ -46,16 +46,25 @@ class SparkProcessor(DataProcessor):
             events = yield from source.poll(
                 max_records=cal.SPARK_MAX_BATCH_EVENTS, data_transfer=False
             )
+            polled_at = self.env.now
             # Trigger: planning + commit, plus serialized per-event driver
             # bookkeeping (collect, offsets, progress reporting).
             yield self.env.timeout(
                 cal.SPARK_TRIGGER_OVERHEAD
                 + len(events) * cal.SPARK_DRIVER_PER_EVENT
             )
+            for event in events:
+                self.tracer.record(event.batch, "spark.driver", start=polled_at)
             # Spark overlaps fetching/planning the next micro-batch with
             # executing the current one, bounded by the in-flight cap.
+            waits = [
+                self.tracer.begin(event.batch, "spark.schedule_wait")
+                for event in events
+            ]
             slot = self._inflight.request()
             yield slot
+            for wait in waits:
+                self.tracer.end(wait)
             self.env.process(self._execute_trigger(events, slot))
 
     def _execute_trigger(self, events: list[InputEvent], slot) -> typing.Generator:
@@ -74,18 +83,34 @@ class SparkProcessor(DataProcessor):
         # Executor-side Kafka read of this chunk's record data.
         chunk_bytes = sum(e.nbytes for e in events)
         if chunk_bytes:
+            spans = [
+                self.tracer.begin(e.batch, "spark.executor_fetch") for e in events
+            ]
             yield self.env.timeout(LAN.transfer_time(chunk_bytes))
+            for span in spans:
+                self.tracer.end(span)
         decode = sum(self.decode_cost(e.batch) for e in events)
         overheads = len(events) * (
             self.profile.source_overhead + self.profile.score_overhead
         )
+        spans = [self.tracer.begin(e.batch, "spark.chunk_cpu") for e in events]
         yield self.env.timeout((decode + overheads) * self.slowdown)
+        for span in spans:
+            self.tracer.end(span)
         # One batched, vectorized inference call for the whole chunk.
         total_points = sum(e.batch.points for e in events)
+        spans = [
+            self.tracer.begin(e.batch, "spark.score", chunk=len(events))
+            for e in events
+        ]
         yield from self.tool.score(total_points, vectorized=True)
+        for span in spans:
+            self.tracer.end(span)
         for event in events:
             batch = event.batch
+            span = self.tracer.begin(batch, "spark.sink")
             yield self.env.timeout(
                 (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
             )
+            self.tracer.end(span)
             self.emit_and_complete(batch)

@@ -1,0 +1,62 @@
+"""Per-record distributed tracing with latency-breakdown attribution.
+
+Crayfish (§3.3/§3.5) measures only end-to-end latency from outside the
+SUT — it can say *who* wins but not *why*. This subsystem attributes
+every millisecond: spans are opened and closed in simulated time along
+the whole record path (producer serialization, broker append/dwell/
+fetch, each SPS engine's stages, serving internals), an analysis layer
+turns them into per-stage breakdown tables, critical paths, and
+bottleneck rankings, and exporters emit Chrome ``trace_event`` JSON and
+CSV. Tracing is off by default and, when off, provably changes nothing:
+no simulation events, no RNG draws, no timing.
+"""
+
+from repro.tracing.analysis import (
+    PathSegment,
+    StageStat,
+    UNTRACED,
+    bottleneck,
+    bottleneck_ranking,
+    breakdown_table,
+    critical_path,
+    record_breakdown,
+)
+from repro.tracing.export import (
+    chrome_trace,
+    load_chrome_trace,
+    save_chrome_trace,
+    save_spans_csv,
+    span_rows,
+)
+from repro.tracing.spans import (
+    NO_TRACE,
+    NullTracer,
+    Span,
+    TraceContext,
+    TraceOptions,
+    Tracer,
+    make_tracer,
+)
+
+__all__ = [
+    "NO_TRACE",
+    "NullTracer",
+    "PathSegment",
+    "Span",
+    "StageStat",
+    "TraceContext",
+    "TraceOptions",
+    "Tracer",
+    "UNTRACED",
+    "bottleneck",
+    "bottleneck_ranking",
+    "breakdown_table",
+    "chrome_trace",
+    "critical_path",
+    "load_chrome_trace",
+    "make_tracer",
+    "record_breakdown",
+    "save_chrome_trace",
+    "save_spans_csv",
+    "span_rows",
+]

@@ -1,0 +1,100 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and flat CSV.
+
+The Chrome format loads directly into ``chrome://tracing`` / Perfetto:
+each record becomes one timeline row (``tid`` = trace id) with its spans
+as complete ("X") events in microseconds. The CSV export is one span per
+row for spreadsheet or pandas analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import typing
+
+from repro.tracing.spans import Tracer
+
+_US = 1e6  # simulated seconds -> trace_event microseconds
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a Chrome ``trace_event`` JSON object."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "crayfish"},
+        }
+    ]
+    for trace_id in tracer.trace_ids():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": trace_id,
+                "args": {"name": f"record {trace_id}"},
+            }
+        )
+        for span in tracer.spans(trace_id):
+            if span.end is None:
+                continue  # records cut off by the horizon stay out
+            event = {
+                "name": span.name,
+                "cat": "crayfish",
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": 0,
+                "tid": trace_id,
+            }
+            if span.attrs:
+                event["args"] = dict(span.attrs)
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the Chrome-loadable trace JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer), handle)
+
+
+def span_rows(tracer: Tracer) -> list[dict]:
+    """One flat dict per finished span (CSV/DataFrame-friendly)."""
+    rows = []
+    for trace_id in tracer.trace_ids():
+        for span in tracer.spans(trace_id):
+            if span.end is None:
+                continue
+            rows.append(
+                {
+                    "trace_id": trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": "" if span.parent_id is None else span.parent_id,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                    "duration": span.duration,
+                }
+            )
+    return rows
+
+
+def save_spans_csv(tracer: Tracer, path: str) -> None:
+    """Write every finished span as one CSV row."""
+    fields = ["trace_id", "span_id", "parent_id", "name", "start", "end", "duration"]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(span_rows(tracer))
+
+
+def load_chrome_trace(path: str) -> dict:
+    """Read back an exported trace (round-trip convenience)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError(f"{path!r} is not a trace_event JSON file")
+    return typing.cast(dict, data)

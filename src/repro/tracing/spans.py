@@ -1,0 +1,340 @@
+"""Span primitives and the per-record tracer.
+
+A *trace* is the full journey of one :class:`CrayfishDataBatch` through
+the pipeline: producer serialization, broker append, topic dwell, the
+SPS engine's stages, serving internals, and the output append. Each
+stage is a *span* — a named ``[start, end]`` interval in simulated time,
+optionally nested under a parent span. The root span of every trace runs
+from the batch's ``created_at`` to its completion timestamp, i.e. it is
+exactly the record's measured end-to-end latency.
+
+Tracing is strictly observational: recording a span never schedules a
+simulation event, never draws from an RNG stream, and never charges
+simulated time. A traced run therefore executes the *identical* event
+sequence as an untraced one (the determinism regression test asserts
+byte-identical latency statistics).
+
+Memory at high input rates is bounded by head-based sampling: the
+sampling decision is taken once, when the batch is created
+(``sample_every``), and a hard ``max_traces`` cap stops admitting new
+traces once reached — spans of unsampled records are never allocated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.errors import ConfigError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The trace identity carried on a sampled CrayfishDataBatch."""
+
+    trace_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceOptions:
+    """User-facing tracing knobs (the runner builds the Tracer)."""
+
+    #: Head-based sampling: trace every Nth batch (1 = every batch).
+    sample_every: int = 1
+    #: Hard cap on admitted traces; bounds memory at 30k ev/s.
+    max_traces: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ConfigError(
+                f"sample_every must be >= 1, got {self.sample_every}"
+            )
+        if self.max_traces < 1:
+            raise ConfigError(f"max_traces must be >= 1, got {self.max_traces}")
+
+
+class Span:
+    """One named interval of a trace. ``end`` is None while open."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start: float,
+        end: float | None = None,
+        attrs: dict | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"[{self.start:.6f}, {end}])"
+        )
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a no-op returning None.
+
+    Instrumentation sites call the tracer unconditionally; with this
+    singleton installed nothing is allocated and no state is touched.
+    """
+
+    enabled = False
+
+    def make_context(self, batch_id: int, created_at: float) -> None:
+        return None
+
+    def context_of(self, obj: typing.Any) -> None:
+        return None
+
+    def begin(self, obj, name, parent=None, **attrs) -> None:
+        return None
+
+    def end(self, span, **attrs) -> None:
+        return None
+
+    def record(self, obj, name, start, end=None, parent=None, **attrs) -> None:
+        return None
+
+    def mark(self, obj, key) -> None:
+        return None
+
+    def lapse(self, obj, name, key, parent=None, **attrs) -> None:
+        return None
+
+    def close_root(self, obj, end_time=None) -> None:
+        return None
+
+    def trace_ids(self) -> tuple:
+        return ()
+
+
+#: The shared "tracing off" instance; components default to it.
+NO_TRACE = NullTracer()
+
+
+class Tracer:
+    """Collects spans per trace, in simulated time.
+
+    Accepts a ``CrayfishDataBatch`` (anything with a ``trace``
+    attribute), a :class:`TraceContext`, or ``None`` wherever a trace
+    subject is expected; unsampled subjects make every call a no-op, so
+    call sites need no sampling checks.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        env: "Environment",
+        sample_every: int = 1,
+        max_traces: int = 4096,
+    ) -> None:
+        options = TraceOptions(sample_every=sample_every, max_traces=max_traces)
+        self.env = env
+        self.sample_every = options.sample_every
+        self.max_traces = options.max_traces
+        #: Traces rejected by the max_traces cap (not by sample_every).
+        self.dropped = 0
+        self._traces: dict[int, list[Span]] = {}
+        self._roots: dict[int, Span] = {}
+        self._span_ids = itertools.count(1)
+        self._marks: dict[tuple[int, str], float] = {}
+
+    # -- admission -------------------------------------------------------
+
+    def make_context(self, batch_id: int, created_at: float) -> TraceContext | None:
+        """Head-based sampling decision for a new batch.
+
+        Returns the context to carry on the batch, or None when the
+        batch is unsampled or the trace budget is exhausted.
+        """
+        if batch_id % self.sample_every != 0:
+            return None
+        if len(self._traces) >= self.max_traces:
+            self.dropped += 1
+            return None
+        root = Span(batch_id, next(self._span_ids), None, "record", start=created_at)
+        self._traces[batch_id] = [root]
+        self._roots[batch_id] = root
+        return TraceContext(trace_id=batch_id)
+
+    def context_of(self, obj: typing.Any) -> TraceContext | None:
+        """Resolve a batch / context / None to a known TraceContext."""
+        ctx = getattr(obj, "trace", obj)
+        if isinstance(ctx, TraceContext) and ctx.trace_id in self._traces:
+            return ctx
+        return None
+
+    # -- span lifecycle --------------------------------------------------
+
+    def begin(
+        self,
+        obj: typing.Any,
+        name: str,
+        parent: Span | None = None,
+        **attrs: typing.Any,
+    ) -> Span | None:
+        """Open a span now; returns None for unsampled subjects."""
+        ctx = self.context_of(obj)
+        if ctx is None:
+            return None
+        parent_id = parent.span_id if parent is not None else (
+            self._roots[ctx.trace_id].span_id
+        )
+        span = Span(
+            ctx.trace_id,
+            next(self._span_ids),
+            parent_id,
+            name,
+            start=self.env.now,
+            attrs=dict(attrs) if attrs else None,
+        )
+        self._traces[ctx.trace_id].append(span)
+        return span
+
+    def end(self, span: Span | None, **attrs: typing.Any) -> None:
+        """Close a span now (None-safe)."""
+        if span is None:
+            return
+        span.end = self.env.now
+        if attrs:
+            span.attrs.update(attrs)
+
+    def record(
+        self,
+        obj: typing.Any,
+        name: str,
+        start: float,
+        end: float | None = None,
+        parent: Span | None = None,
+        **attrs: typing.Any,
+    ) -> Span | None:
+        """Record a retroactive, already-closed span (e.g. queue dwell)."""
+        ctx = self.context_of(obj)
+        if ctx is None:
+            return None
+        if end is None:
+            end = self.env.now
+        if end < start:
+            raise ValueError(f"span {name!r}: end {end} before start {start}")
+        parent_id = parent.span_id if parent is not None else (
+            self._roots[ctx.trace_id].span_id
+        )
+        span = Span(
+            ctx.trace_id,
+            next(self._span_ids),
+            parent_id,
+            name,
+            start=start,
+            end=end,
+            attrs=dict(attrs) if attrs else None,
+        )
+        self._traces[ctx.trace_id].append(span)
+        return span
+
+    # -- marks: measure waits across process boundaries ------------------
+
+    def mark(self, obj: typing.Any, key: str) -> None:
+        """Remember 'now' under ``key`` for a later :meth:`lapse`."""
+        ctx = self.context_of(obj)
+        if ctx is None:
+            return
+        self._marks[(ctx.trace_id, key)] = self.env.now
+
+    def lapse(
+        self,
+        obj: typing.Any,
+        name: str,
+        key: str,
+        parent: Span | None = None,
+        **attrs: typing.Any,
+    ) -> Span | None:
+        """Record a span from the matching :meth:`mark` to now."""
+        ctx = self.context_of(obj)
+        if ctx is None:
+            return None
+        start = self._marks.pop((ctx.trace_id, key), None)
+        if start is None:
+            return None
+        return self.record(ctx, name, start=start, parent=parent, **attrs)
+
+    # -- root management -------------------------------------------------
+
+    def close_root(self, obj: typing.Any, end_time: float | None = None) -> None:
+        """Close a trace's root span at the record's completion time.
+
+        Idempotent: under at-least-once replay the first completion wins
+        (matching the metrics collector's duplicate accounting).
+        """
+        ctx = self.context_of(obj)
+        if ctx is None:
+            return
+        root = self._roots[ctx.trace_id]
+        if root.end is not None:
+            return
+        root.end = self.env.now if end_time is None else end_time
+
+    # -- queries ---------------------------------------------------------
+
+    def trace_ids(self) -> tuple[int, ...]:
+        """All admitted trace ids, in admission order."""
+        return tuple(self._traces)
+
+    def finished_trace_ids(self) -> tuple[int, ...]:
+        """Trace ids whose record completed (root span closed)."""
+        return tuple(t for t, root in self._roots.items() if root.end is not None)
+
+    def spans(self, trace_id: int) -> list[Span]:
+        """All spans of one trace, root first, in recording order."""
+        return list(self._traces[trace_id])
+
+    def root(self, trace_id: int) -> Span:
+        return self._roots[trace_id]
+
+    @property
+    def span_count(self) -> int:
+        return sum(len(spans) for spans in self._traces.values())
+
+
+def make_tracer(env: "Environment", trace: typing.Any) -> Tracer | NullTracer:
+    """Resolve the runner's ``trace`` argument to a tracer instance.
+
+    Accepts ``None`` (off), ``True`` (defaults), :class:`TraceOptions`,
+    or a ready :class:`Tracer`.
+    """
+    if trace is None or trace is False:
+        return NO_TRACE
+    if trace is True:
+        return Tracer(env)
+    if isinstance(trace, TraceOptions):
+        return Tracer(env, sample_every=trace.sample_every, max_traces=trace.max_traces)
+    if isinstance(trace, (Tracer, NullTracer)):
+        return trace
+    raise ConfigError(f"cannot build a tracer from {trace!r}")

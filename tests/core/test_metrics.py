@@ -25,8 +25,8 @@ def test_percentile_interpolates():
 
 
 def test_percentile_validation():
-    with pytest.raises(ValueError):
-        percentile([], 0.5)
+    # Empty samples yield NaN, matching LatencyStats.from_samples([]).
+    assert math.isnan(percentile([], 0.5))
     with pytest.raises(ValueError):
         percentile([1.0], 1.5)
 
@@ -38,6 +38,7 @@ def test_latency_stats_basics():
     assert stats.minimum == 1.0
     assert stats.maximum == 4.0
     assert stats.p50 == 2.5
+    assert stats.p99 <= stats.p999 <= stats.maximum
     assert stats.std == pytest.approx(math.sqrt(1.25))
 
 
@@ -45,6 +46,17 @@ def test_latency_stats_empty():
     stats = LatencyStats.from_samples([])
     assert stats.count == 0
     assert math.isnan(stats.mean)
+    assert math.isnan(stats.p999)
+
+
+def test_latency_stats_to_dict():
+    stats = LatencyStats.from_samples([1.0, 2.0])
+    record = stats.to_dict()
+    assert record["count"] == 2
+    assert record["p999"] == stats.p999
+    assert set(record) == {
+        "count", "mean", "std", "minimum", "p50", "p95", "p99", "p999", "maximum",
+    }
 
 
 def test_collector_records_latency():

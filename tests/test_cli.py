@@ -78,6 +78,43 @@ def test_async_io_flag(capsys):
     assert "throughput" in capsys.readouterr().out
 
 
+def test_trace_command(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.json")
+    csv_path = str(tmp_path / "spans.csv")
+    code = main(
+        [
+            "trace", "--sps", "flink", "--serving", "onnx",
+            "--ir", "50", "--duration", "2",
+            "--out", trace_path, "--csv", csv_path,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Latency breakdown" in out
+    assert "bottleneck ranking" in out
+    assert "Chrome trace written" in out
+
+    from repro.tracing.export import load_chrome_trace
+
+    data = load_chrome_trace(trace_path)
+    assert any(e.get("ph") == "X" for e in data["traceEvents"])
+    with open(csv_path) as handle:
+        header = handle.readline().strip()
+    assert header == "trace_id,span_id,parent_id,name,start,end,duration"
+
+
+def test_trace_command_sampling(capsys, tmp_path):
+    code = main(
+        [
+            "trace", "--ir", "50", "--duration", "2",
+            "--sample-every", "10", "--max-traces", "5",
+            "--out", str(tmp_path / "t.json"),
+        ]
+    )
+    assert code == 0
+    assert "traced 5 records" in capsys.readouterr().out
+
+
 def test_invalid_choice_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--sps", "storm"])

@@ -1,0 +1,94 @@
+"""Tracing is observational: determinism and bottleneck acceptance tests."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.runner import ExperimentRunner
+from repro.tracing.analysis import bottleneck_ranking, record_breakdown
+from repro.tracing.spans import TraceOptions
+
+
+def run_once(trace=None, **overrides):
+    defaults = dict(
+        sps="flink", serving="onnx", model="ffnn", bsz=4, ir=80.0, mp=2,
+        duration=4.0,
+    )
+    defaults.update(overrides)
+    config = ExperimentConfig(**defaults)
+    return ExperimentRunner(config).run(trace=trace)
+
+
+@pytest.mark.parametrize(
+    "sps,serving",
+    [("flink", "onnx"), ("kafka_streams", "dl4j"),
+     ("spark_ss", "onnx"), ("ray", "tf_serving")],
+)
+def test_tracing_does_not_change_results(sps, serving):
+    """Byte-identical LatencyStats with tracing on vs off, every engine."""
+    untraced = run_once(sps=sps, serving=serving)
+    traced = run_once(sps=sps, serving=serving, trace=True)
+    assert dataclasses.asdict(untraced.latency) == dataclasses.asdict(
+        traced.latency
+    )
+    assert untraced.throughput == traced.throughput
+    assert untraced.completed == traced.completed
+    assert untraced.produced == traced.produced
+    assert untraced.series == traced.series
+    assert untraced.trace is None
+    assert traced.trace is not None
+
+
+def test_sampling_does_not_change_results():
+    full = run_once(trace=True)
+    sampled = run_once(trace=TraceOptions(sample_every=7, max_traces=10))
+    assert full.series == sampled.series
+    assert len(sampled.trace.trace_ids()) <= 10
+    assert all(t % 7 == 0 for t in sampled.trace.trace_ids())
+
+
+def test_breakdown_sums_match_e2e_latency_for_every_record():
+    """The acceptance invariant on a real run: stage sums tile latency."""
+    result = run_once(trace=True)
+    tracer = result.trace
+    finished = tracer.finished_trace_ids()
+    assert len(finished) > 50
+    for trace_id in finished:
+        breakdown = record_breakdown(tracer, trace_id)
+        root = tracer.root(trace_id)
+        assert math.isclose(
+            sum(breakdown.values()), root.duration, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+def test_ray_external_bottleneck_is_the_serve_proxy():
+    """Fig. 11's mechanism, recovered from traces: Ray + an external tool
+    routes through Ray Serve's single HTTP proxy (~2.2 ms per request),
+    and near the proxy's saturation rate the queue wait in front of it
+    dominates the post-warmup latency breakdown."""
+    result = run_once(
+        sps="ray", serving="tf_serving", ir=430.0, mp=32, duration=6.0,
+        trace=True,
+    )
+    tracer = result.trace
+    cutoff = result.config.duration * result.config.warmup_fraction
+    ranked = bottleneck_ranking(tracer, cutoff=cutoff, top=3)
+    assert ranked, "no post-warmup records traced"
+    top = ranked[0]
+    assert top.stage == "serving.proxy_wait", [s.stage for s in ranked]
+    assert top.share > 0.3
+
+
+def test_embedded_flink_bottleneck_is_not_the_proxy():
+    """Control: embedded ONNX on Flink has no proxy stage at all."""
+    result = run_once(trace=True)
+    tracer = result.trace
+    stages = {
+        stage
+        for trace_id in tracer.finished_trace_ids()
+        for stage in record_breakdown(tracer, trace_id)
+    }
+    assert "serving.proxy_wait" not in stages
+    assert "serving.inference" in stages
