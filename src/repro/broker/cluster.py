@@ -15,6 +15,7 @@ from repro import calibration as cal
 from repro.broker.records import ConsumerRecord, RecordMetadata
 from repro.broker.topic import Topic
 from repro.errors import ConfigError, MessageTooLargeError, UnknownTopicError
+from repro.metrics.registry import NO_METRICS
 from repro.netsim import Link
 from repro.simul import Environment, Resource
 from repro.tracing.spans import NO_TRACE
@@ -30,6 +31,7 @@ class BrokerCluster:
         max_request_bytes: float = cal.BROKER_MAX_REQUEST_BYTES,
         link: Link | None = None,
         tracer: typing.Any = NO_TRACE,
+        metrics: typing.Any = NO_METRICS,
     ) -> None:
         if broker_count < 1:
             raise ConfigError(f"need >= 1 broker, got {broker_count}")
@@ -38,10 +40,23 @@ class BrokerCluster:
         self.max_request_bytes = max_request_bytes
         self.link = link if link is not None else Link()
         self.tracer = tracer
+        self.metrics = metrics
         self._topics: dict[str, Topic] = {}
+        # Consumers register themselves so group lag is observable.
+        self._consumers: list[typing.Any] = []
         # One service unit per broker: appends/fetches to its partitions
         # queue here.
         self._brokers = [Resource(env, capacity=1) for __ in range(broker_count)]
+        metrics.gauge(
+            "broker_utilization",
+            help="fraction of brokers busy serving an append or fetch",
+            fn=lambda: sum(b.count for b in self._brokers) / self.broker_count,
+        )
+        metrics.gauge(
+            "broker_service_queue",
+            help="append/fetch requests waiting for a broker",
+            fn=lambda: sum(len(b.queue) for b in self._brokers),
+        )
 
     # -- admin ---------------------------------------------------------
 
@@ -50,7 +65,27 @@ class BrokerCluster:
             raise ConfigError(f"topic {name!r} already exists")
         topic = Topic(self.env, name, partitions)
         self._topics[name] = topic
+        self.metrics.gauge(
+            "broker_partition_depth",
+            help="records appended across the topic's partitions",
+            labels={"topic": name},
+            fn=lambda t=topic: sum(
+                t.partition(p).end_offset for p in range(t.partition_count)
+            ),
+        )
         return topic
+
+    def register_consumer(self, consumer: typing.Any) -> None:
+        """Track a consumer-group member so its topic's lag is scrapable."""
+        self._consumers.append(consumer)
+        self.metrics.gauge(
+            "broker_consumer_lag",
+            help="records appended but not yet consumed by the group",
+            labels={"topic": consumer.topic},
+            fn=lambda topic=consumer.topic: sum(
+                c.lag() for c in self._consumers if c.topic == topic
+            ),
+        )
 
     def topic(self, name: str) -> Topic:
         try:

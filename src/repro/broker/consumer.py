@@ -47,6 +47,7 @@ class Consumer:
             )
         self._offsets = {p: 0 for p in self.partitions}
         self.records_consumed = 0
+        cluster.register_consumer(self)
 
     def lag(self) -> int:
         """Total records appended but not yet consumed on our partitions."""

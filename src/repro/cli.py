@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import typing
 
@@ -69,6 +70,29 @@ def _config_from(args: argparse.Namespace, **extra: typing.Any) -> ExperimentCon
         server_workers=args.server_workers,
         **extra,
     )
+
+
+def _export_artifact(
+    path: str | None,
+    writer: typing.Callable[[str], typing.Any],
+    label: str,
+    note: str = "",
+) -> None:
+    """Write one export artifact and report where it landed.
+
+    Shared by ``crayfish trace`` and ``crayfish metrics``: ensures the
+    output's parent directory exists, invokes ``writer(path)``, and
+    prints a uniform "written to" line. ``path=None`` skips the export
+    (an optional artifact the user did not ask for).
+    """
+    if path is None:
+        return
+    target = pathlib.Path(path)
+    if str(target.parent) not in ("", "."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    writer(str(target))
+    suffix = f" {note}" if note else ""
+    print(f"{label} written to {target}{suffix}")
 
 
 def _maybe_dump(args: argparse.Namespace, results) -> None:
@@ -185,11 +209,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"  {rank}. {stat.stage}: {stat.share * 100:.1f}% of latency "
             f"({format_ms(stat.mean)} ms/record)"
         )
-    save_chrome_trace(tracer, args.out)
-    print(f"\nChrome trace written to {args.out} (open in chrome://tracing)")
-    if args.csv:
-        save_spans_csv(tracer, args.csv)
-        print(f"span CSV written to {args.csv}")
+    print()
+    _export_artifact(
+        args.out,
+        lambda p: save_chrome_trace(tracer, p),
+        "Chrome trace",
+        note="(open in chrome://tracing)",
+    )
+    _export_artifact(args.csv, lambda p: save_spans_csv(tracer, p), "span CSV")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.core.runner import ExperimentRunner
+    from repro.metrics import MetricsOptions
+    from repro.metrics.dashboard import render_dashboard
+    from repro.metrics.export import save_metrics_jsonl, save_openmetrics
+
+    config = _config_from(args, ir=args.ir)
+    options = MetricsOptions(scrape_interval=args.scrape_interval)
+    result = ExperimentRunner(config).run(metrics=options)
+    telemetry = result.telemetry
+    scraper = telemetry.scraper
+    print(
+        f"{config.label()}: scraped {len(telemetry.registry)} instruments "
+        f"{scraper.scrapes} times (every {args.scrape_interval}s simulated)"
+    )
+    print()
+    print(render_dashboard(scraper, title=config.label()))
+    print()
+    _export_artifact(
+        args.openmetrics,
+        lambda p: save_openmetrics(telemetry.registry, p),
+        "OpenMetrics exposition",
+    )
+    _export_artifact(
+        args.jsonl, lambda p: save_metrics_jsonl(scraper, p), "metrics timeline"
+    )
     return 0
 
 
@@ -257,6 +313,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, help="also write spans as CSV to this path"
     )
     trace_cmd.set_defaults(func=_cmd_trace)
+
+    metrics_cmd = commands.add_parser(
+        "metrics", help="run one experiment with whole-system telemetry"
+    )
+    _add_sut_args(metrics_cmd)
+    metrics_cmd.add_argument(
+        "--ir", type=float, default=None, help="input rate; omit to saturate"
+    )
+    metrics_cmd.add_argument(
+        "--scrape-interval", type=float, default=0.05, dest="scrape_interval",
+        help="simulated seconds between scrapes",
+    )
+    metrics_cmd.add_argument(
+        "--openmetrics", default="crayfish_metrics.txt",
+        help="OpenMetrics text exposition output path",
+    )
+    metrics_cmd.add_argument(
+        "--jsonl", default=None,
+        help="also write the scraped timeline as JSONL to this path",
+    )
+    metrics_cmd.set_defaults(func=_cmd_metrics)
 
     list_cmd = commands.add_parser("list", help="registered components")
     list_cmd.set_defaults(func=_cmd_list)

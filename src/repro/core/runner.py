@@ -18,6 +18,7 @@ from repro.core.generator import BatchFactory, ConstantRate, PeriodicBursts, Rat
 from repro.core.metrics import LatencyStats, MetricsCollector
 from repro.core.producer import InputProducerBase, PacedProducer, SaturatingProducer
 from repro.errors import ConfigError
+from repro.metrics import MetricsOptions, Scraper, Telemetry, make_registry
 from repro.nn.zoo import model_info
 from repro.serving import create_serving_tool
 from repro.simul import Environment, RandomStreams
@@ -66,6 +67,10 @@ class ExperimentResult:
     #: (``run(trace=...)``); None otherwise. Feed it to
     #: :mod:`repro.tracing.analysis` / :mod:`repro.tracing.export`.
     trace: "Tracer | None" = None
+    #: Scraped whole-system telemetry, when the run was started with
+    #: metrics on (``run(metrics=...)``); None otherwise. Feed it to
+    #: :mod:`repro.metrics.export` / :mod:`repro.metrics.dashboard`.
+    telemetry: "Telemetry | None" = None
 
     @property
     def label(self) -> str:
@@ -133,6 +138,7 @@ class ExperimentRunner:
         seed: int | None = None,
         backlog_probe_interval: float | None = None,
         trace: typing.Any = None,
+        metrics: typing.Any = None,
     ) -> ExperimentResult:
         """Execute the experiment; ``seed`` overrides the config seed.
 
@@ -141,19 +147,23 @@ class ExperimentRunner:
 
         ``trace`` turns on per-record tracing: ``True`` for defaults, a
         :class:`~repro.tracing.spans.TraceOptions` for sampling knobs.
-        Tracing is observational — it never changes the event sequence,
-        so traced results are identical to untraced ones.
+
+        ``metrics`` turns on whole-system telemetry: ``True`` for
+        defaults, a :class:`~repro.metrics.MetricsOptions` for the scrape
+        interval. Both are observational — they never change the event
+        sequence, so instrumented results are identical to plain ones.
         """
         config = self.config
         env = Environment()
         tracer = make_tracer(env, trace)
+        registry = make_registry(env, metrics)
         rng = RandomStreams(config.seed if seed is None else seed)
         # Failure injection can legitimately replay batches to the sink.
-        metrics = MetricsCollector(env, strict=not config.fault_tolerant)
+        collector = MetricsCollector(env, strict=not config.fault_tolerant)
 
         # Transport: Kafka (default) or direct in-process (Fig. 13).
         if config.use_broker:
-            cluster = BrokerCluster(env, tracer=tracer)
+            cluster = BrokerCluster(env, tracer=tracer, metrics=registry)
             cluster.create_topic(INPUT_TOPIC, config.partitions)
             cluster.create_topic(OUTPUT_TOPIC, config.partitions)
             input_gateway: typing.Any = BrokerInput(env, cluster, INPUT_TOPIC)
@@ -181,6 +191,10 @@ class ExperimentRunner:
             ),
         )
         tool.tracer = tracer
+        # Metrics install before batching/autoscaling: those layers pick
+        # up the registry from ``tool.metrics`` when wiring their own
+        # instruments.
+        tool.install_metrics(registry)
         if config.adaptive_batching is not None:
             from repro.serving.external.batching import (
                 BatchingPolicy,
@@ -204,6 +218,18 @@ class ExperimentRunner:
                 AutoscalePolicy(min_workers=low, max_workers=high),
                 horizon=config.duration,
             )
+        on_complete = collector.on_complete
+        if registry.enabled:
+            latency_hist = registry.histogram(
+                "pipeline_latency_seconds",
+                help="end-to-end event-time latency of completed batches",
+            )
+            inner_on_complete = collector.on_complete
+
+            def on_complete(batch, end_time):  # noqa: F811
+                latency_hist.observe(end_time - batch.created_at)
+                inner_on_complete(batch, end_time)
+
         engine = create_data_processor(
             config.sps,
             env,
@@ -211,18 +237,19 @@ class ExperimentRunner:
             input_gateway,
             output_gateway,
             mp=config.mp,
-            on_complete=metrics.on_complete,
+            on_complete=on_complete,
             output_values_per_point=model_info(config.model).output_values,
             operator_parallelism=config.operator_parallelism,
             async_io=config.async_io,
             scoring_window=config.scoring_window,
             fault_tolerance=self._fault_tolerance(),
             tracer=tracer,
+            metrics=registry,
         )
 
         factory = BatchFactory(config.bsz, self._point_shape(), tracer=tracer)
         producer = self._build_producer(
-            env, factory, metrics, tracer=tracer, **producer_kwargs
+            env, factory, collector, tracer=tracer, **producer_kwargs
         )
 
         probe = None
@@ -233,11 +260,32 @@ class ExperimentRunner:
                 env,
                 cluster,
                 INPUT_TOPIC,
-                completed=lambda: metrics.count,
+                completed=lambda: collector.count,
                 interval=backlog_probe_interval,
                 horizon=config.duration,
             )
             probe.start()
+
+        scraper = None
+        if registry.enabled:
+            registry.counter(
+                "pipeline_batches_produced",
+                help="batches written to the input side in total",
+                fn=lambda: producer.batches_produced,
+            )
+            registry.counter(
+                "pipeline_batches_completed",
+                help="batches that reached the output side in total",
+                fn=lambda: collector.count,
+            )
+            options = metrics if isinstance(metrics, MetricsOptions) else MetricsOptions()
+            scraper = Scraper(
+                env,
+                registry,
+                interval=options.scrape_interval,
+                horizon=config.duration,
+            )
+            scraper.start()
 
         engine.start()
         producer.start()
@@ -246,17 +294,18 @@ class ExperimentRunner:
         cutoff = config.duration * config.warmup_fraction
         return ExperimentResult(
             config=config,
-            throughput=metrics.throughput(cutoff, config.duration),
-            latency=metrics.latency_stats(cutoff),
-            completed=metrics.count,
+            throughput=collector.throughput(cutoff, config.duration),
+            latency=collector.latency_stats(cutoff),
+            completed=collector.count,
             produced=producer.batches_produced,
             measure_start=cutoff,
             measure_end=config.duration,
-            series=tuple(metrics.latency_series()),
-            duplicates=metrics.duplicates,
+            series=tuple(collector.latency_series()),
+            duplicates=collector.duplicates,
             inference_requests=tool.requests_served,
             backlog_series=tuple(probe.series()) if probe is not None else (),
             trace=tracer if not isinstance(tracer, NullTracer) else None,
+            telemetry=Telemetry(registry, scraper) if scraper is not None else None,
         )
 
     def _build_producer(

@@ -1,0 +1,43 @@
+"""Whole-system telemetry in simulated time.
+
+Tracing (:mod:`repro.tracing`) answers *where did this record's time go*;
+this package answers *what was the system doing when it went there*. A
+:class:`~repro.metrics.registry.MetricsRegistry` holds typed instruments
+(counters, gauges, histograms) registered by every layer — broker, the
+four SPS engines, serving — and a
+:class:`~repro.metrics.scraper.Scraper` process snapshots them at a fixed
+simulated interval, producing per-metric time series.
+
+Like tracing, telemetry is strictly observational: gauges are callbacks
+evaluated only at scrape time, the scraper's events never touch pipeline
+state, and no instrument draws from an RNG stream — so a metrics-on run
+produces byte-identical experiment results to a metrics-off run (the
+determinism regression tests assert this for all four engines).
+"""
+
+from repro.metrics.registry import (
+    NO_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsOptions,
+    MetricsRegistry,
+    NullRegistry,
+    log_buckets,
+    make_registry,
+)
+from repro.metrics.scraper import Scraper, Telemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsOptions",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NO_METRICS",
+    "Scraper",
+    "Telemetry",
+    "log_buckets",
+    "make_registry",
+]

@@ -1,0 +1,142 @@
+"""A terminal dashboard over scraped telemetry.
+
+One sparkline row per scraped series (min/last/max annotated), grouped by
+layer — broker, engine, serving, pipeline — plus a backpressure/lag
+summary that surfaces the queueing signals (consumer lag, queue depths,
+mailbox occupancy, blocked producers) an operator would watch first on a
+live system.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.metrics.scraper import Scraper
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Series name fragments that indicate queueing/backpressure signals.
+PRESSURE_MARKERS = ("lag", "queue", "backpressure", "mailbox", "backlog")
+
+#: Display order of layer groups (by series-name prefix after the
+#: namespace); anything unmatched lands in "other".
+_GROUPS = (
+    ("broker", ("broker_",)),
+    ("engine", ("engine_", "flink_", "spark_", "ray_", "kafka_streams_")),
+    ("serving", ("serving_", "autoscaler_")),
+    ("pipeline", ("pipeline_",)),
+)
+
+
+def sparkline(values: typing.Sequence[float], width: int = 40) -> str:
+    """Render ``values`` as a fixed-width unicode sparkline.
+
+    Series longer than ``width`` are downsampled by striding; flat
+    series render at the lowest level.
+    """
+    points = [v for v in values if not math.isnan(v)]
+    if not points:
+        return " " * width
+    if len(points) > width:
+        stride = len(points) / width
+        points = [points[int(i * stride)] for i in range(width)]
+    low, high = min(points), max(points)
+    span = high - low
+    chars = []
+    for value in points:
+        if span == 0:
+            level = 0
+        else:
+            level = int((value - low) / span * (len(SPARK_CHARS) - 1))
+        chars.append(SPARK_CHARS[level])
+    return "".join(chars).ljust(width)
+
+
+def _format_number(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    if abs(value) >= 10000:
+        return f"{value / 1000:.1f}k"
+    if abs(value) >= 100 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def _strip_namespace(name: str) -> str:
+    return name.split("_", 1)[1] if name.startswith("crayfish_") else name
+
+
+def _group_of(name: str) -> str:
+    bare = _strip_namespace(name)
+    for group, prefixes in _GROUPS:
+        if bare.startswith(prefixes):
+            return group
+    return "other"
+
+
+def render_dashboard(
+    scraper: Scraper, width: int = 40, title: str = ""
+) -> str:
+    """The full dashboard as a printable string."""
+    timeline = scraper.timeline()
+    if not timeline:
+        return "(no metrics scraped)"
+    rows: list[tuple[str, str, list[float]]] = []
+    for name, labels, series in timeline:
+        label = _strip_namespace(name)
+        if labels:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            label = f"{label}{{{inner}}}"
+        rows.append((_group_of(name), label, list(series.values)))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    name_width = max(len(label) for __, label, __v in rows)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{scraper.scrapes} scrapes every {scraper.interval:g}s simulated"
+    )
+    current_group = None
+    for group, label, values in rows:
+        if group != current_group:
+            current_group = group
+            lines.append("")
+            lines.append(f"-- {group} " + "-" * max(width - len(group) - 4, 0))
+        last = values[-1] if values else math.nan
+        peak = max(values) if values else math.nan
+        lines.append(
+            f"{label.ljust(name_width)} {sparkline(values, width)} "
+            f"last {_format_number(last).rjust(6)}  "
+            f"max {_format_number(peak).rjust(6)}"
+        )
+    summary = backpressure_summary(scraper)
+    if summary:
+        lines.append("")
+        lines.append("backpressure & lag summary:")
+        lines.extend(f"  {line}" for line in summary)
+    return "\n".join(lines)
+
+
+def backpressure_summary(scraper: Scraper) -> list[str]:
+    """Queueing signals ranked by peak value, one line each."""
+    pressured: list[tuple[float, float, str]] = []
+    for name, labels, series in scraper.timeline():
+        bare = _strip_namespace(name)
+        if not any(marker in bare for marker in PRESSURE_MARKERS):
+            continue
+        values = list(series.values)
+        if not values:
+            continue
+        peak = max(values)
+        pressured.append((peak, values[-1], bare))
+    pressured.sort(key=lambda item: (-item[0], item[2]))
+    lines = []
+    for peak, last, name in pressured:
+        state = "idle" if peak == 0 else ("drained" if last == 0 else "queued")
+        lines.append(
+            f"{name}: peak {_format_number(peak)}, "
+            f"last {_format_number(last)} ({state})"
+        )
+    return lines

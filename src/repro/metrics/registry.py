@@ -1,0 +1,357 @@
+"""The metrics registry and its typed instruments.
+
+Prometheus/OpenMetrics-flavoured, recorded in simulated time:
+
+- :class:`Counter` — a monotonically increasing total. Either incremented
+  explicitly (``inc``) or backed by a callback reading a cumulative value
+  a component already maintains (``fn=lambda: consumer.records_consumed``).
+- :class:`Gauge` — a value that goes up and down. Almost every gauge in
+  this repository is callback-backed (queue depth, resource utilization,
+  consumer lag): the callable is evaluated *only when scraped or
+  exported*, so instrumented components pay nothing on the hot path.
+- :class:`Histogram` — observations bucketed into fixed log-spaced
+  boundaries (latencies and batch sizes span orders of magnitude, so
+  linear buckets would waste resolution).
+
+Series identity is ``(name, labels)``: registering the same identity
+twice returns the existing instrument (component wiring is idempotent);
+re-registering under a different type is a configuration error.
+
+The :data:`NO_METRICS` null registry mirrors :data:`~repro.tracing.spans
+.NO_TRACE`: components default to it, every registration returns a shared
+no-op instrument, and nothing is allocated or recorded.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+import typing
+
+from repro.errors import ConfigError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.core import Environment
+
+Labels = typing.Tuple[typing.Tuple[str, str], ...]
+
+
+def log_buckets(start: float, stop: float, count: int = 12) -> tuple[float, ...]:
+    """``count`` log-spaced bucket upper bounds from ``start`` to ``stop``."""
+    if start <= 0 or stop <= start:
+        raise ConfigError(f"need 0 < start < stop, got [{start}, {stop}]")
+    if count < 2:
+        raise ConfigError(f"need >= 2 buckets, got {count}")
+    ratio = (stop / start) ** (1.0 / (count - 1))
+    return tuple(start * ratio**i for i in range(count))
+
+
+#: Default histogram boundaries: 0.1 ms .. 10 s, 16 log-spaced buckets.
+DEFAULT_BUCKETS = log_buckets(1e-4, 10.0, 16)
+
+
+def _freeze_labels(labels: dict[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Shared identity/metadata for one time series."""
+
+    type: str = ""
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.help = help
+        self.labels: Labels = _freeze_labels(labels)
+
+    @property
+    def key(self) -> tuple[str, Labels]:
+        return (self.name, self.labels)
+
+    @property
+    def series_name(self) -> str:
+        """``name{label="value",...}`` — the exported series identity."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+    def value(self) -> float:
+        """The instantaneous value a scrape records."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.series_name})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing total (requests served, batches done)."""
+
+    type = "counter"
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        fn: typing.Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(env, name, help, labels)
+        self._fn = fn
+        self._total = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._fn is not None:
+            raise ConfigError(f"{self.name}: callback counters cannot inc()")
+        if amount < 0:
+            raise ConfigError(f"{self.name}: counters only count upward")
+        self._total += amount
+
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._total
+
+
+class Gauge(Instrument):
+    """A value that can rise and fall (queue depth, lag, utilization)."""
+
+    type = "gauge"
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        fn: typing.Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(env, name, help, labels)
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ConfigError(f"{self.name}: callback gauges cannot set()")
+        self._value = float(value)
+
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram(Instrument):
+    """Observations in fixed log-spaced buckets (+Inf is implicit).
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` exclusively
+    of earlier buckets; cumulative counts (the OpenMetrics convention)
+    are computed at export time.
+    """
+
+    type = "histogram"
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: typing.Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(env, name, help, labels)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigError(f"{name}: bucket bounds must strictly increase")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            raise ConfigError(f"{self.name}: cannot observe NaN")
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def value(self) -> float:
+        """Scrapes record the running observation count (the timeline
+        shows arrival rate; the full distribution exports at run end)."""
+        return float(self.count)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsOptions:
+    """User-facing telemetry knobs (the runner builds the registry)."""
+
+    #: Simulated seconds between scrapes.
+    scrape_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.scrape_interval <= 0:
+            raise ConfigError(
+                f"scrape_interval must be positive, got {self.scrape_interval}"
+            )
+
+
+class NullInstrument:
+    """The shared no-op instrument every NullRegistry call returns."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = NullInstrument()
+
+
+class NullRegistry:
+    """Metrics disabled: registrations are accepted and discarded.
+
+    Instrumentation sites register unconditionally; with this singleton
+    installed no series exists, nothing is recorded, and callback gauges
+    are never evaluated.
+    """
+
+    enabled = False
+
+    def counter(self, name, help="", labels=None, fn=None) -> NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labels=None, fn=None) -> NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labels=None, buckets=None) -> NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def instruments(self) -> tuple:
+        return ()
+
+
+#: The shared "metrics off" instance; components default to it.
+NO_METRICS = NullRegistry()
+
+
+class MetricsRegistry:
+    """Central, namespaced registry of every instrument in one run."""
+
+    enabled = True
+
+    def __init__(self, env: "Environment", namespace: str = "crayfish") -> None:
+        self.env = env
+        self.namespace = namespace
+        self._instruments: dict[tuple[str, Labels], Instrument] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def _register(self, cls: type, name: str, labels, **kwargs) -> Instrument:
+        if self.namespace:
+            name = f"{self.namespace}_{name}"
+        key = (name, _freeze_labels(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigError(
+                    f"{name}: registered as {existing.type}, requested "
+                    f"{cls.type}"  # type: ignore[attr-defined]
+                )
+            return existing
+        instrument = cls(self.env, name, labels=labels, **kwargs)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        fn: typing.Callable[[], float] | None = None,
+    ) -> Counter:
+        return typing.cast(
+            Counter, self._register(Counter, name, labels, help=help, fn=fn)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        fn: typing.Callable[[], float] | None = None,
+    ) -> Gauge:
+        return typing.cast(
+            Gauge, self._register(Gauge, name, labels, help=help, fn=fn)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: typing.Sequence[float] | None = None,
+    ) -> Histogram:
+        return typing.cast(
+            Histogram,
+            self._register(Histogram, name, labels, help=help, buckets=buckets),
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def instruments(self) -> tuple[Instrument, ...]:
+        """Every registered instrument, in registration order."""
+        return tuple(self._instruments.values())
+
+    def get(self, name: str, labels: dict[str, str] | None = None) -> Instrument:
+        if self.namespace and not name.startswith(f"{self.namespace}_"):
+            name = f"{self.namespace}_{name}"
+        try:
+            return self._instruments[(name, _freeze_labels(labels))]
+        except KeyError:
+            raise ConfigError(f"no instrument {name!r} with labels {labels}") from None
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+def make_registry(
+    env: "Environment", metrics: typing.Any
+) -> MetricsRegistry | NullRegistry:
+    """Resolve the runner's ``metrics`` argument to a registry instance.
+
+    Accepts ``None``/``False`` (off), ``True`` (defaults, the options
+    only parameterize the scraper), :class:`MetricsOptions`, or a ready
+    registry.
+    """
+    if metrics is None or metrics is False:
+        return NO_METRICS
+    if metrics is True or isinstance(metrics, MetricsOptions):
+        return MetricsRegistry(env)
+    if isinstance(metrics, (MetricsRegistry, NullRegistry)):
+        return metrics
+    raise ConfigError(f"cannot build a metrics registry from {metrics!r}")

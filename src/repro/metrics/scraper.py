@@ -1,0 +1,106 @@
+"""The scraper: periodic snapshots of every registered instrument.
+
+A simulation process wakes every ``interval`` simulated seconds and
+records each instrument's instantaneous value into a
+:class:`~repro.simul.monitor.TimeSeries` — the Prometheus pull model
+transplanted into simulated time. Instruments registered *after* the
+scraper starts (topics created mid-wiring, sources spawned after model
+load) are picked up on their first scrape.
+
+Scraping is observational: each tick only schedules its own timeout and
+reads component state through gauge callbacks. Extra timeouts shift the
+event heap's sequence numbers uniformly, which preserves the relative
+order of all pipeline events, so scraped runs remain byte-identical to
+unscraped ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.metrics.registry import (
+    Instrument,
+    Labels,
+    MetricsOptions,
+    MetricsRegistry,
+)
+from repro.simul.monitor import TimeSeries
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.core import Environment
+
+
+class Scraper:
+    """Samples every instrument of ``registry`` at a fixed interval.
+
+    ``horizon`` bounds the scrape loop (the experiment runner passes the
+    run duration); ``None`` keeps scraping for as long as the simulation
+    is driven with ``run(until=...)``.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        registry: MetricsRegistry,
+        interval: float = MetricsOptions.scrape_interval,
+        horizon: float | None = None,
+    ) -> None:
+        options = MetricsOptions(scrape_interval=interval)
+        self.env = env
+        self.registry = registry
+        self.interval = options.scrape_interval
+        self.horizon = horizon
+        self.scrapes = 0
+        self._series: dict[tuple[str, Labels], TimeSeries] = {}
+
+    def start(self) -> None:
+        self.env.process(self._run())
+
+    def _run(self) -> typing.Generator:
+        while self.horizon is None or self.env.now < self.horizon:
+            yield self.env.timeout(self.interval)
+            self.scrape()
+
+    def scrape(self) -> None:
+        """Record one sample per instrument, at the current time."""
+        self.scrapes += 1
+        for instrument in self.registry.instruments():
+            series = self._series.get(instrument.key)
+            if series is None:
+                series = TimeSeries(self.env, instrument.series_name)
+                self._series[instrument.key] = series
+            series.record(instrument.value())
+
+    # -- queries ---------------------------------------------------------
+
+    def series(self) -> dict[str, TimeSeries]:
+        """Scraped timeline per series name (``name{labels}``)."""
+        return {ts.name: ts for ts in self._series.values()}
+
+    def series_of(self, instrument: Instrument) -> TimeSeries | None:
+        return self._series.get(instrument.key)
+
+    def timeline(self) -> list[tuple[str, dict[str, str], TimeSeries]]:
+        """(metric name, labels, scraped series) per instrument."""
+        return [
+            (name, dict(labels), ts)
+            for (name, labels), ts in self._series.items()
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class Telemetry:
+    """Everything a metrics-on run collected, as carried on the result."""
+
+    registry: MetricsRegistry
+    scraper: Scraper
+
+    def series(self) -> dict[str, TimeSeries]:
+        return self.scraper.series()
+
+    def last_values(self) -> dict[str, float]:
+        """Final value per series name (registry state at run end)."""
+        return {
+            i.series_name: i.value() for i in self.registry.instruments()
+        }

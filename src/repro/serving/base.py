@@ -11,6 +11,7 @@ import dataclasses
 import typing
 
 from repro.errors import ServingError
+from repro.metrics.registry import NO_METRICS
 from repro.serving.costs import ServingCostModel
 from repro.simul import Environment
 from repro.tracing.spans import NO_TRACE
@@ -40,8 +41,28 @@ class ServingTool:
         #: Installed by the runner when tracing is on; spans inside the
         #: serving tool attach to the scored record's trace.
         self.tracer = NO_TRACE
+        #: Installed via :meth:`install_metrics` when telemetry is on.
+        self.metrics = NO_METRICS
         self._loaded = False
         self.requests_served = 0
+
+    def install_metrics(self, registry: typing.Any) -> None:
+        """Attach a metrics registry and register this tool's instruments.
+
+        Must run before optional serving machinery (adaptive batching,
+        autoscaling) is installed, so those layers find the registry on
+        ``self.metrics``.
+        """
+        self.metrics = registry
+        registry.counter(
+            "serving_requests",
+            help="scoring calls the serving tool served",
+            fn=lambda: self.requests_served,
+        )
+        self._register_metrics(registry)
+
+    def _register_metrics(self, registry: typing.Any) -> None:
+        """Subclass hook: register tool-specific instruments."""
 
     @property
     def name(self) -> str:

@@ -29,6 +29,18 @@ class EmbeddedLibrary(ServingTool):
         self._engine = Resource(env, capacity=costs.engine_concurrency)
         self.model_swaps = 0
 
+    def _register_metrics(self, registry: typing.Any) -> None:
+        registry.gauge(
+            "serving_engine_utilization",
+            help="fraction of the embedded engine's slots in use",
+            fn=lambda: self._engine.count / self._engine.capacity,
+        )
+        registry.gauge(
+            "serving_engine_queue",
+            help="scoring calls waiting for an engine slot",
+            fn=lambda: len(self._engine.queue),
+        )
+
     def score(
         self, bsz: int, vectorized: bool = False, ctx: typing.Any = None
     ) -> typing.Generator:

@@ -94,6 +94,33 @@ class Autoscaler:
                 concurrency, service.costs.profile.large_model_concurrency
             )
         service._engine = Resource(env, capacity=concurrency)
+        self._register_metrics(service.metrics)
+
+    def _register_metrics(self, registry: typing.Any) -> None:
+        registry.gauge(
+            "autoscaler_replicas",
+            help="worker replicas (live: serving; desired: target)",
+            labels={"state": "live"},
+            fn=lambda: self.live,
+        )
+        registry.gauge(
+            "autoscaler_replicas",
+            help="worker replicas (live: serving; desired: target)",
+            labels={"state": "desired"},
+            fn=lambda: self.desired,
+        )
+        registry.counter(
+            "autoscaler_scale_events",
+            help="scaling decisions the control loop took",
+            labels={"direction": "up"},
+            fn=lambda: self.scale_ups,
+        )
+        registry.counter(
+            "autoscaler_scale_events",
+            help="scaling decisions the control loop took",
+            labels={"direction": "down"},
+            fn=lambda: self.scale_downs,
+        )
 
     def _bootstrap(self) -> None:
         if self.service._workers_started:

@@ -43,6 +43,16 @@ def install_adaptive_batching(service, policy: BatchingPolicy) -> None:
     service.batching = policy
     service._batch_queue = Store(service.env)
     service._start_workers_plain = service._start_workers
+    service.metrics.gauge(
+        "serving_batch_queue_depth",
+        help="coalesced batches waiting for a batch worker",
+        fn=lambda: service._batch_queue.level,
+    )
+    service._batch_size_hist = service.metrics.histogram(
+        "serving_batch_size",
+        help="requests coalesced into each assembled batch",
+        buckets=[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+    )
 
     def start_with_batcher() -> None:
         if service._workers_started:
@@ -82,6 +92,7 @@ def _dispatcher(service, policy: BatchingPolicy) -> typing.Generator:
             if not got:
                 break
             batch.append(item)
+        service._batch_size_hist.observe(len(batch))
         yield service._batch_queue.put(batch)
 
 

@@ -46,6 +46,19 @@ class ExternalServingService(ServingTool):
         self._engine = Resource(env, capacity=costs.engine_concurrency)
         self._workers_started = False
 
+    def _register_metrics(self, registry: typing.Any) -> None:
+        registry.gauge(
+            "serving_queue_depth",
+            help="requests queued at the external server's ingress",
+            fn=lambda: self._queue.level,
+        )
+        # Late-bound through self: the autoscaler swaps self._engine.
+        registry.gauge(
+            "serving_engine_utilization",
+            help="fraction of the server's engine concurrency in use",
+            fn=lambda: self._engine.count / self._engine.capacity,
+        )
+
     # -- server side -----------------------------------------------------
 
     def load(self) -> typing.Generator:

@@ -13,10 +13,11 @@ import typing
 
 from repro import calibration as cal
 from repro.core.batch import CrayfishDataBatch
+from repro.metrics.registry import NO_METRICS
 from repro.netsim import json_payload
 from repro.serving.base import ServingTool
 from repro.simul import Environment
-from repro.sps.gateways import InputGateway, OutputGateway
+from repro.sps.gateways import InputGateway, OutputGateway, SourceHandle
 from repro.tracing.spans import NO_TRACE
 
 #: Called with (batch, end_timestamp) when a batch leaves the pipeline.
@@ -39,6 +40,7 @@ class DataProcessor:
         on_complete: CompletionCallback | None = None,
         output_values_per_point: int = 1,
         tracer: typing.Any = NO_TRACE,
+        metrics: typing.Any = NO_METRICS,
     ) -> None:
         self.env = env
         self.tool = tool
@@ -48,7 +50,31 @@ class DataProcessor:
         self.on_complete = on_complete
         self.output_values_per_point = output_values_per_point
         self.tracer = tracer
+        self.metrics = metrics
         self.batches_completed = 0
+        self._sources: list[SourceHandle] = []
+        #: Output records buffered in asynchronous emit (fire-and-forget
+        #: Kafka produces in flight). Maintained unconditionally — two
+        #: integer ops per batch — so metrics-on/off runs stay identical.
+        self._emits_inflight = 0
+        metrics.gauge(
+            "engine_input_queue",
+            help="records fetched-able but not yet polled by source tasks",
+            labels={"engine": self.name},
+            fn=lambda: sum(s.lag() for s in self._sources),
+        )
+        metrics.gauge(
+            "engine_output_queue",
+            help="scored records in asynchronous sink emission",
+            labels={"engine": self.name},
+            fn=lambda: self._emits_inflight,
+        )
+        metrics.counter(
+            "engine_batches_completed",
+            help="batches the engine has reported complete",
+            labels={"engine": self.name},
+            fn=lambda: self.batches_completed,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -62,6 +88,12 @@ class DataProcessor:
 
     def _spawn_tasks(self) -> None:
         raise NotImplementedError
+
+    def _new_source(self, member: int, members: int) -> SourceHandle:
+        """Open a source handle and keep it observable for telemetry."""
+        source = self.input.make_source(member, members)
+        self._sources.append(source)
+        return source
 
     # -- shared cost helpers -------------------------------------------------
 
@@ -119,5 +151,9 @@ class DataProcessor:
         self.env.process(self._emit_process(batch))
 
     def _emit_process(self, batch: CrayfishDataBatch) -> typing.Generator:
-        end_time = yield from self._emit(batch)
+        self._emits_inflight += 1
+        try:
+            end_time = yield from self._emit(batch)
+        finally:
+            self._emits_inflight -= 1
         self._complete(batch, end_time)

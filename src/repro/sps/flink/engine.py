@@ -74,6 +74,19 @@ class FlinkProcessor(DataProcessor):
             sources, scorers, sinks = self.operator_parallelism
             score_queue = Store(self.env, capacity=EXCHANGE_CAPACITY)
             sink_queue = Store(self.env, capacity=EXCHANGE_CAPACITY)
+            for stage, queue in (("score", score_queue), ("sink", sink_queue)):
+                self.metrics.gauge(
+                    "flink_exchange_queue",
+                    help="records buffered in the inter-stage exchange",
+                    labels={"stage": stage},
+                    fn=lambda q=queue: q.level,
+                )
+                self.metrics.gauge(
+                    "flink_backpressure",
+                    help="tasks blocked on a full network-buffer pool",
+                    labels={"stage": stage},
+                    fn=lambda q=queue: len(q._putters),
+                )
             for task in range(sources):
                 self.env.process(self._source_task(task, sources, score_queue))
             for __ in range(scorers):
@@ -119,7 +132,7 @@ class FlinkProcessor(DataProcessor):
         if self.scoring_window:
             yield from self._windowed_task(member, members)
             return
-        source = self.input.make_source(member, members)
+        source = self._new_source(member, members)
         inflight = Resource(self.env, capacity=self.async_io) if self.async_io else None
         while True:
             events = yield from source.poll()
@@ -148,7 +161,7 @@ class FlinkProcessor(DataProcessor):
         events; a partial window flushes as soon as the source has no
         more data ready, so idle streams never wait on a timer.
         """
-        source = self.input.make_source(member, members)
+        source = self._new_source(member, members)
         window: list[InputEvent] = []
         while True:
             events = yield from source.poll()
@@ -188,7 +201,7 @@ class FlinkProcessor(DataProcessor):
         yield from self._sink(event)
 
     def _source_task(self, member: int, members: int, downstream: Store) -> typing.Generator:
-        source = self.input.make_source(member, members)
+        source = self._new_source(member, members)
         while True:
             events = yield from source.poll()
             polled_at = self.env.now

@@ -36,13 +36,20 @@ class KafkaStreamsProcessor(DataProcessor):
         return 1.0
 
     def _spawn_tasks(self) -> None:
+        self.poll_cycles = 0
+        self.metrics.counter(
+            "kafka_streams_poll_cycles",
+            help="poll cycles executed across all stream threads",
+            fn=lambda: self.poll_cycles,
+        )
         for thread in range(self.mp):
             self.env.process(self._stream_thread(thread, self.mp))
 
     def _stream_thread(self, member: int, members: int) -> typing.Generator:
-        source = self.input.make_source(member, members)
+        source = self._new_source(member, members)
         while True:
             events = yield from source.poll()
+            self.poll_cycles += 1
             polled_at = self.env.now
             # Poll-cycle bookkeeping (offset commits, rebalance liveness):
             # a fixed cost per cycle, amortized across the cycle's records.

@@ -32,15 +32,30 @@ class RayProcessor(DataProcessor):
     def _spawn_tasks(self) -> None:
         # One serialized per-node scheduler shared by all actors.
         self._node = Resource(self.env, capacity=1)
+        self._mailboxes: dict[str, list[Store]] = {"score": [], "output": []}
+        for stage, boxes in self._mailboxes.items():
+            self.metrics.gauge(
+                "ray_mailbox_depth",
+                help="messages queued in the stage's actor mailboxes",
+                labels={"stage": stage},
+                fn=lambda b=boxes: sum(box.level for box in b),
+            )
+        self.metrics.gauge(
+            "ray_scheduler_queue",
+            help="deliveries waiting on the serialized node scheduler",
+            fn=lambda: len(self._node.queue),
+        )
         for lane in range(self.mp):
             score_box: Store = Store(self.env, capacity=MAILBOX_CAPACITY)
             out_box: Store = Store(self.env, capacity=MAILBOX_CAPACITY)
+            self._mailboxes["score"].append(score_box)
+            self._mailboxes["output"].append(out_box)
             self.env.process(self._input_actor(lane, self.mp, score_box))
             self.env.process(self._scoring_actor(score_box, out_box))
             self.env.process(self._output_actor(out_box))
 
     def _input_actor(self, member: int, members: int, downstream: Store) -> typing.Generator:
-        source = self.input.make_source(member, members)
+        source = self._new_source(member, members)
         while True:
             events = yield from source.poll()
             polled_at = self.env.now

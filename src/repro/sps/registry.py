@@ -16,6 +16,7 @@ from repro.sps.flink.fault_tolerance import (
 from repro.sps.gateways import InputGateway, OutputGateway
 from repro.sps.kafka_streams import KafkaStreamsProcessor
 from repro.sps.ray_actors import RayProcessor
+from repro.metrics.registry import NO_METRICS
 from repro.sps.spark import SparkProcessor
 from repro.tracing.spans import NO_TRACE
 
@@ -41,6 +42,7 @@ def create_data_processor(
     scoring_window: int = 0,
     fault_tolerance: "FaultToleranceConfig | None" = None,
     tracer: typing.Any = NO_TRACE,
+    metrics: typing.Any = NO_METRICS,
 ) -> DataProcessor:
     """Build the named engine wired to a serving tool and gateways."""
     try:
@@ -76,5 +78,6 @@ def create_data_processor(
         on_complete=on_complete,
         output_values_per_point=output_values_per_point,
         tracer=tracer,
+        metrics=metrics,
         **kwargs,
     )

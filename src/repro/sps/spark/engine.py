@@ -36,10 +36,25 @@ class SparkProcessor(DataProcessor):
 
     def _spawn_tasks(self) -> None:
         self._inflight = Resource(self.env, capacity=cal.SPARK_INFLIGHT_TRIGGERS)
+        self.metrics.gauge(
+            "spark_trigger_backlog",
+            help="records arrived but not yet planned into a micro-batch",
+            fn=lambda: sum(s.lag() for s in self._sources),
+        )
+        self.metrics.gauge(
+            "spark_inflight_triggers",
+            help="micro-batches currently executing on the cluster",
+            fn=lambda: self._inflight.count,
+        )
+        self.metrics.counter(
+            "spark_triggers",
+            help="micro-batch triggers completed",
+            fn=lambda: self.triggers_fired,
+        )
         self.env.process(self._driver_loop())
 
     def _driver_loop(self) -> typing.Generator:
-        source = self.input.make_source(0, 1)
+        source = self._new_source(0, 1)
         while True:
             # The driver only *plans* the micro-batch (offset ranges);
             # executors pull the record data from the brokers themselves.

@@ -1,0 +1,78 @@
+"""Unit tests for the terminal dashboard."""
+
+import math
+
+from repro.metrics import MetricsRegistry, Scraper
+from repro.metrics.dashboard import (
+    backpressure_summary,
+    render_dashboard,
+    sparkline,
+)
+from repro.simul import Environment
+
+
+def test_sparkline_shape_and_extremes():
+    line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([], width=5) == " " * 5
+    assert sparkline([math.nan], width=3) == " " * 3
+    flat = sparkline([2.0, 2.0, 2.0], width=3)
+    assert flat == "▁▁▁"
+
+
+def test_sparkline_downsamples_long_series():
+    line = sparkline(list(range(1000)), width=10)
+    assert len(line) == 10
+
+
+def _scraped_system():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    depth = {"value": 0}
+    registry.gauge("broker_consumer_lag", fn=lambda: depth["value"])
+    registry.gauge("engine_input_queue", fn=lambda: 0)
+    registry.gauge("serving_queue_depth", fn=lambda: 3)
+    registry.counter("pipeline_batches_completed", fn=lambda: 9)
+
+    def load():
+        for i in range(5):
+            depth["value"] = i * 10
+            yield env.timeout(0.1)
+
+    env.process(load())
+    scraper = Scraper(env, registry, interval=0.1, horizon=0.5)
+    scraper.start()
+    env.run(until=0.5)
+    return scraper
+
+
+def test_dashboard_groups_layers():
+    text = render_dashboard(_scraped_system(), title="demo")
+    assert text.startswith("demo")
+    for group in ("-- broker", "-- engine", "-- serving", "-- pipeline"):
+        assert group in text
+    assert "broker_consumer_lag" in text
+    assert "backpressure & lag summary:" in text
+
+
+def test_dashboard_empty_scraper():
+    env = Environment()
+    scraper = Scraper(env, MetricsRegistry(env), interval=0.1)
+    assert render_dashboard(scraper) == "(no metrics scraped)"
+
+
+def test_backpressure_summary_ranks_by_peak():
+    lines = backpressure_summary(_scraped_system())
+    # Lag (peak 40) outranks serving queue depth (peak 3); the idle
+    # engine queue ranks last.
+    assert lines[0].startswith("broker_consumer_lag: peak 40")
+    assert "(queued)" in lines[1]
+    assert lines[-1].startswith("engine_input_queue: peak 0")
+    assert "(idle)" in lines[-1]
+    # Non-pressure series (the completed counter) are excluded.
+    assert not any("batches_completed" in line for line in lines)

@@ -1,0 +1,103 @@
+"""Unit tests for the OpenMetrics and JSONL exporters."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry, Scraper
+from repro.metrics.export import (
+    load_metrics_jsonl,
+    openmetrics_text,
+    parse_openmetrics,
+    save_metrics_jsonl,
+    save_openmetrics,
+    timeline_rows,
+)
+from repro.simul import Environment
+
+
+def _populated_registry(env=None):
+    registry = MetricsRegistry(env or Environment())
+    counter = registry.counter("requests", help="requests served")
+    counter.inc(12)
+    registry.gauge("depth", labels={"topic": "in"}, fn=lambda: 4)
+    registry.gauge("depth", labels={"topic": "out"}, fn=lambda: 2)
+    hist = registry.histogram("latency", buckets=[0.1, 1.0])
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+def test_openmetrics_round_trip():
+    text = openmetrics_text(_populated_registry())
+    families = parse_openmetrics(text)
+    assert families["crayfish_requests"]["type"] == "counter"
+    assert families["crayfish_requests"]["samples"]["crayfish_requests_total"] == 12
+    depth = families["crayfish_depth"]["samples"]
+    assert depth['crayfish_depth{topic="in"}'] == 4
+    assert depth['crayfish_depth{topic="out"}'] == 2
+    latency = families["crayfish_latency"]["samples"]
+    assert latency['crayfish_latency_bucket{le="0.1"}'] == 1
+    assert latency['crayfish_latency_bucket{le="1.0"}'] == 2
+    assert latency['crayfish_latency_bucket{le="+Inf"}'] == 3
+    assert latency["crayfish_latency_count"] == 3
+    assert latency["crayfish_latency_sum"] == pytest.approx(5.55)
+
+
+def test_openmetrics_terminates_and_declares_types():
+    text = openmetrics_text(_populated_registry())
+    assert text.endswith("# EOF\n")
+    # One TYPE line per family, even with several labeled series.
+    assert text.count("# TYPE crayfish_depth gauge") == 1
+
+
+def test_save_openmetrics(tmp_path):
+    path = tmp_path / "metrics.txt"
+    save_openmetrics(_populated_registry(), str(path))
+    parse_openmetrics(path.read_text())
+
+
+def test_parse_rejects_missing_eof():
+    with pytest.raises(ValueError, match="EOF"):
+        parse_openmetrics("# TYPE a gauge\na 1\n")
+
+
+def test_parse_rejects_untyped_sample():
+    with pytest.raises(ValueError, match="no TYPE"):
+        parse_openmetrics("orphan 1\n# EOF\n")
+
+
+def test_parse_rejects_duplicate_series():
+    text = "# TYPE a gauge\na 1\na 2\n# EOF\n"
+    with pytest.raises(ValueError, match="duplicate series"):
+        parse_openmetrics(text)
+
+
+def test_parse_rejects_duplicate_type():
+    text = "# TYPE a gauge\n# TYPE a counter\n# EOF\n"
+    with pytest.raises(ValueError, match="duplicate TYPE"):
+        parse_openmetrics(text)
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="non-numeric"):
+        parse_openmetrics("# TYPE a gauge\na one\n# EOF\n")
+    with pytest.raises(ValueError, match="malformed label"):
+        parse_openmetrics('# TYPE a gauge\na{b=unquoted} 1\n# EOF\n')
+    with pytest.raises(ValueError, match="blank"):
+        parse_openmetrics("# TYPE a gauge\n\na 1\n# EOF\n")
+
+
+def test_jsonl_round_trip(tmp_path):
+    env = Environment()
+    registry = _populated_registry(env)
+    scraper = Scraper(env, registry, interval=0.1, horizon=0.3)
+    scraper.start()
+    env.run(until=0.3)
+    rows = timeline_rows(scraper)
+    assert rows, "expected scraped samples"
+    assert rows == sorted(rows, key=lambda r: r["t"])
+    path = tmp_path / "timeline.jsonl"
+    save_metrics_jsonl(scraper, str(path))
+    assert load_metrics_jsonl(str(path)) == rows
+    sample = rows[0]
+    assert set(sample) == {"t", "metric", "labels", "value"}

@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry and its typed instruments."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    NO_METRICS,
+    MetricsOptions,
+    MetricsRegistry,
+    log_buckets,
+    make_registry,
+)
+from repro.metrics.registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from repro.simul import Environment
+
+
+def test_counter_counts_upward():
+    registry = MetricsRegistry(Environment())
+    counter = registry.counter("requests", help="requests served")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value() == 5
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry(Environment())
+    counter = registry.counter("requests")
+    with pytest.raises(ConfigError):
+        counter.inc(-1)
+
+
+def test_callback_counter_reads_component_state():
+    state = {"done": 0}
+    registry = MetricsRegistry(Environment())
+    counter = registry.counter("done", fn=lambda: state["done"])
+    state["done"] = 42
+    assert counter.value() == 42
+    with pytest.raises(ConfigError):
+        counter.inc()
+
+
+def test_gauge_set_and_callback():
+    registry = MetricsRegistry(Environment())
+    gauge = registry.gauge("depth")
+    gauge.set(3)
+    assert gauge.value() == 3.0
+    backed = registry.gauge("lag", fn=lambda: 7)
+    assert backed.value() == 7.0
+    with pytest.raises(ConfigError):
+        backed.set(1)
+
+
+def test_histogram_buckets_observations():
+    registry = MetricsRegistry(Environment())
+    hist = registry.histogram("latency", buckets=[0.1, 1.0, 10.0])
+    for value in (0.05, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.bucket_counts == [1, 1, 1, 1]
+    assert hist.cumulative_buckets() == [
+        (0.1, 1),
+        (1.0, 2),
+        (10.0, 3),
+        (math.inf, 4),
+    ]
+    assert hist.mean == pytest.approx((0.05 + 0.5 + 5.0 + 50.0) / 4)
+
+
+def test_histogram_rejects_nan_and_bad_bounds():
+    registry = MetricsRegistry(Environment())
+    hist = registry.histogram("latency")
+    with pytest.raises(ConfigError):
+        hist.observe(math.nan)
+    with pytest.raises(ConfigError):
+        registry.histogram("bad", buckets=[1.0, 1.0, 2.0])
+    with pytest.raises(ConfigError):
+        registry.histogram("worse", buckets=[2.0, 1.0])
+
+
+def test_log_buckets_are_geometric():
+    bounds = log_buckets(0.001, 1.0, 4)
+    assert len(bounds) == 4
+    assert bounds[0] == pytest.approx(0.001)
+    assert bounds[-1] == pytest.approx(1.0)
+    ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+    assert all(r == pytest.approx(ratios[0]) for r in ratios)
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    with pytest.raises(ConfigError):
+        log_buckets(0.0, 1.0)
+    with pytest.raises(ConfigError):
+        log_buckets(1.0, 2.0, count=1)
+
+
+def test_registration_is_idempotent():
+    registry = MetricsRegistry(Environment())
+    first = registry.gauge("depth", labels={"topic": "in"})
+    again = registry.gauge("depth", labels={"topic": "in"})
+    assert first is again
+    other = registry.gauge("depth", labels={"topic": "out"})
+    assert other is not first
+    assert len(registry) == 2
+
+
+def test_type_conflict_rejected():
+    registry = MetricsRegistry(Environment())
+    registry.counter("events")
+    with pytest.raises(ConfigError):
+        registry.gauge("events")
+
+
+def test_namespace_prefix_and_series_name():
+    registry = MetricsRegistry(Environment(), namespace="crayfish")
+    gauge = registry.gauge("lag", labels={"topic": "in", "a": "b"})
+    assert gauge.name == "crayfish_lag"
+    # Labels are sorted, so series identity is order-independent.
+    assert gauge.series_name == 'crayfish_lag{a="b",topic="in"}'
+    assert registry.get("lag", labels={"a": "b", "topic": "in"}) is gauge
+    with pytest.raises(ConfigError):
+        registry.get("missing")
+
+
+def test_null_registry_is_inert():
+    assert not NO_METRICS.enabled
+    counter = NO_METRICS.counter("anything")
+    counter.inc()
+    NO_METRICS.gauge("depth", fn=lambda: 1 / 0).set(3)
+    NO_METRICS.histogram("latency").observe(0.5)
+    assert NO_METRICS.instruments() == ()
+
+
+def test_make_registry_resolution():
+    env = Environment()
+    assert make_registry(env, None) is NO_METRICS
+    assert make_registry(env, False) is NO_METRICS
+    assert isinstance(make_registry(env, True), MetricsRegistry)
+    assert isinstance(make_registry(env, MetricsOptions()), MetricsRegistry)
+    ready = MetricsRegistry(env)
+    assert make_registry(env, ready) is ready
+    with pytest.raises(ConfigError):
+        make_registry(env, "yes")
+
+
+def test_metrics_options_validation():
+    with pytest.raises(ConfigError):
+        MetricsOptions(scrape_interval=0.0)
+
+
+def test_instrument_types():
+    registry = MetricsRegistry(Environment())
+    assert isinstance(registry.counter("a"), Counter)
+    assert isinstance(registry.gauge("b"), Gauge)
+    assert isinstance(registry.histogram("c"), Histogram)

@@ -1,0 +1,91 @@
+"""Unit tests for the periodic scraper."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry, Scraper, Telemetry
+from repro.simul import Environment
+
+
+def test_scraper_samples_at_interval():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    depth = {"value": 0}
+    registry.gauge("queue_depth", fn=lambda: depth["value"])
+
+    def producer():
+        for i in range(10):
+            depth["value"] = i
+            yield env.timeout(0.1)
+
+    env.process(producer())
+    scraper = Scraper(env, registry, interval=0.1, horizon=1.0)
+    scraper.start()
+    env.run(until=1.0)
+    assert scraper.scrapes == 10  # ticks at 0.1 .. 1.0 (horizon inclusive)
+    series = scraper.series()["crayfish_queue_depth"]
+    assert series.times == pytest.approx([0.1 * (i + 1) for i in range(10)])
+    # The gauge is read at scrape time: value set at t=i/10 is seen at
+    # t=(i+1)/10; the producer's last write (9) is read twice.
+    assert series.values == pytest.approx(
+        [float(i + 1) for i in range(9)] + [9.0]
+    )
+
+
+def test_scraper_picks_up_late_instruments():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    registry.gauge("early", fn=lambda: 1)
+
+    def late_registration():
+        yield env.timeout(0.55)
+        registry.gauge("late", fn=lambda: 2)
+
+    env.process(late_registration())
+    scraper = Scraper(env, registry, interval=0.1, horizon=1.0)
+    scraper.start()
+    env.run(until=1.0)
+    series = scraper.series()
+    assert len(series["crayfish_early"]) == 10
+    assert len(series["crayfish_late"]) == 5  # first sampled at t=0.6
+
+
+def test_scraper_horizon_bounds_loop():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    registry.gauge("g", fn=lambda: 0)
+    scraper = Scraper(env, registry, interval=0.1, horizon=0.5)
+    scraper.start()
+    env.run(until=5.0)
+    assert scraper.scrapes == 5
+
+
+def test_scraper_rejects_bad_interval():
+    env = Environment()
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        Scraper(env, MetricsRegistry(env), interval=0.0)
+
+
+def test_timeline_carries_labels():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    registry.gauge("lag", labels={"topic": "in"}, fn=lambda: 3)
+    scraper = Scraper(env, registry, interval=0.1, horizon=0.3)
+    scraper.start()
+    env.run(until=0.3)
+    [(name, labels, series)] = scraper.timeline()
+    assert name == "crayfish_lag"
+    assert labels == {"topic": "in"}
+    assert series.values == [3.0, 3.0]
+
+
+def test_telemetry_last_values():
+    env = Environment()
+    registry = MetricsRegistry(env)
+    counter = registry.counter("done")
+    counter.inc(5)
+    scraper = Scraper(env, registry, interval=0.1)
+    telemetry = Telemetry(registry, scraper)
+    assert telemetry.last_values() == {"crayfish_done": 5.0}
+    assert telemetry.series() == {}

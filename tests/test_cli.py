@@ -115,6 +115,33 @@ def test_trace_command_sampling(capsys, tmp_path):
     assert "traced 5 records" in capsys.readouterr().out
 
 
+def test_metrics_command(tmp_path, capsys):
+    om_path = tmp_path / "nested" / "metrics.txt"
+    jsonl_path = tmp_path / "timeline.jsonl"
+    code = main(
+        [
+            "metrics", "--sps", "flink", "--serving", "onnx",
+            "--duration", "1", "--scrape-interval", "0.1",
+            "--openmetrics", str(om_path), "--jsonl", str(jsonl_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scrapes" in out
+    assert "-- broker" in out
+    assert "backpressure & lag summary:" in out
+    assert "OpenMetrics exposition written" in out
+    # The shared export helper creates missing parent directories.
+    assert om_path.exists()
+
+    from repro.metrics.export import load_metrics_jsonl, parse_openmetrics
+
+    families = parse_openmetrics(om_path.read_text())
+    assert "crayfish_broker_consumer_lag" in families
+    assert "crayfish_pipeline_latency_seconds" in families
+    assert load_metrics_jsonl(str(jsonl_path))
+
+
 def test_invalid_choice_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--sps", "storm"])
