@@ -17,7 +17,7 @@ from repro.broker.topic import Topic
 from repro.errors import ConfigError, MessageTooLargeError, UnknownTopicError
 from repro.metrics.registry import NO_METRICS
 from repro.netsim import Link
-from repro.simul import Environment, Resource
+from repro.simul import Environment, Event, Resource
 from repro.tracing.spans import NO_TRACE
 
 
@@ -42,6 +42,9 @@ class BrokerCluster:
         self.tracer = tracer
         self.metrics = metrics
         self._topics: dict[str, Topic] = {}
+        # Active partition outages: producers block on the gate event
+        # until the partition's leadership is restored.
+        self._outages: dict[tuple[str, int], Event] = {}
         # Consumers register themselves so group lag is observable.
         self._consumers: list[typing.Any] = []
         # One service unit per broker: appends/fetches to its partitions
@@ -119,6 +122,16 @@ class BrokerCluster:
                 f"{self.max_request_bytes:.0f} B"
             )
         log = self.topic(topic).partition(partition)
+        # An unavailable partition has no leader to accept the write: the
+        # producer's delivery blocks until the outage ends (librdkafka-style
+        # internal retries, collapsed into one wait).
+        while True:
+            gate = self._outages.get((topic, partition))
+            if gate is None:
+                break
+            span = self.tracer.begin(value, f"broker.unavailable:{topic}")
+            yield gate
+            self.tracer.end(span)
         span = self.tracer.begin(value, f"broker.send:{topic}")
         yield self.env.timeout(self.link.transfer_time(nbytes))
         self.tracer.end(span)
@@ -241,3 +254,35 @@ class BrokerCluster:
     def wait_for_data(self, topic: str, partition: int, offset: int):
         """Event firing once the partition has records past ``offset``."""
         return self.topic(topic).partition(partition).data_available(offset)
+
+    def cancel_wait(self, topic: str, partition: int, event) -> None:
+        """Deregister a stale :meth:`wait_for_data` event (an ``any_of``
+        loser) so partitions that never grow don't leak waiters."""
+        self.topic(topic).partition(partition).cancel_wait(event)
+
+    def fetchable(self, topic: str, partition: int, offset: int) -> bool:
+        """Would a fetch at ``offset`` return records right now?"""
+        return self.topic(topic).partition(partition).fetchable_past(offset)
+
+    # -- fault injection -----------------------------------------------
+
+    def begin_partition_outage(
+        self, topic: str, partitions: typing.Sequence[int]
+    ) -> None:
+        """Take the partitions offline: appends park on a gate event and
+        fetches return nothing until :meth:`end_partition_outage`."""
+        for partition in partitions:
+            self.topic(topic).partition(partition).block()
+            key = (topic, partition)
+            if key not in self._outages:
+                self._outages[key] = Event(self.env)
+
+    def end_partition_outage(
+        self, topic: str, partitions: typing.Sequence[int]
+    ) -> None:
+        """Restore leadership: wake parked producers and consumers."""
+        for partition in partitions:
+            self.topic(topic).partition(partition).unblock()
+            gate = self._outages.pop((topic, partition), None)
+            if gate is not None and not gate.triggered:
+                gate.succeed()

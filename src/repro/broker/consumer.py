@@ -82,16 +82,34 @@ class Consumer:
         :class:`ConsumerRecord`.
         """
         while True:
-            if self.lag() == 0:
-                # Nothing anywhere: sleep until an assigned partition grows.
+            if not self._has_fetchable():
+                # Nothing fetchable anywhere: sleep until an assigned
+                # partition grows (or recovers from an outage).
                 waiters = [
                     self.cluster.wait_for_data(self.topic, p, self._offsets[p])
                     for p in self.partitions
                 ]
                 yield self.env.any_of(waiters)
+                # Cancel the losers: a waiter that never fires would sit
+                # in its partition's list forever (unbounded growth on
+                # partitions that rarely grow).
+                for partition, waiter in zip(self.partitions, waiters):
+                    self.cluster.cancel_wait(self.topic, partition, waiter)
             records, self._offsets = yield from self.cluster.fetch_many(
                 self.topic, self._offsets, max_records, data_transfer=data_transfer
             )
             if records:
                 self.records_consumed += len(records)
                 return records
+
+    def _has_fetchable(self) -> bool:
+        """True when any assigned partition would serve records now.
+
+        Equivalent to ``lag() > 0`` on a healthy cluster; during a
+        partition outage it also treats blocked partitions as empty so
+        the consumer parks instead of spinning on empty fetches.
+        """
+        return any(
+            self.cluster.fetchable(self.topic, p, self._offsets[p])
+            for p in self.partitions
+        )

@@ -21,6 +21,9 @@ class PartitionLog:
         self.index = index
         self._records: list[ConsumerRecord] = []
         self._waiters: list[Event] = []
+        # Fault injection: an unavailable partition (leader lost) serves
+        # no fetches and defers data-available wake-ups until recovery.
+        self._blocked = False
 
     @property
     def end_offset(self) -> int:
@@ -46,18 +49,65 @@ class PartitionLog:
         return record
 
     def fetch(self, offset: int, max_records: int) -> list[ConsumerRecord]:
-        """Records in ``[offset, offset + max_records)`` that exist now."""
+        """Records in ``[offset, offset + max_records)`` that exist now.
+
+        An unavailable partition serves nothing (the consumer's fetch
+        gets an empty response, as from a partition with no leader).
+        """
         if offset < 0:
             raise ValueError(f"negative offset {offset}")
         if max_records < 1:
             raise ValueError(f"max_records must be >= 1, got {max_records}")
+        if self._blocked:
+            return []
         return self._records[offset : offset + max_records]
 
+    def fetchable_past(self, offset: int) -> bool:
+        """True when a fetch at ``offset`` would return records now."""
+        return not self._blocked and len(self._records) > offset
+
     def data_available(self, offset: int) -> Event:
-        """Event firing once the log grows past ``offset``."""
+        """Event firing once the log grows past ``offset``.
+
+        While the partition is unavailable the event is parked even if
+        the data exists — it fires when the partition recovers.
+        """
         event = Event(self.env)
-        if len(self._records) > offset:
+        if not self._blocked and len(self._records) > offset:
             event.succeed()
         else:
             self._waiters.append(event)
         return event
+
+    def cancel_wait(self, event: Event) -> None:
+        """Deregister a waiter produced by :meth:`data_available`.
+
+        Consumers wake on *any* of their partitions' waiters; the losers
+        must be cancelled or a partition that rarely grows accumulates
+        stale events without bound.
+        """
+        if not event.triggered:
+            try:
+                self._waiters.remove(event)
+            except ValueError:
+                pass
+
+    # -- availability (fault injection) --------------------------------
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocked
+
+    def block(self) -> None:
+        """Take the partition offline (no leader): fetches return nothing
+        and data-available waits park until :meth:`unblock`."""
+        self._blocked = True
+
+    def unblock(self) -> None:
+        """Restore the partition and wake every parked waiter (consumers
+        re-check availability themselves, so spurious wakes are safe)."""
+        self._blocked = False
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()

@@ -249,6 +249,120 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+FAULT_CHOICES = (
+    "server-crash",
+    "partition",
+    "network",
+    "straggler",
+    "engine-crash",
+)
+
+
+def _chaos_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the faulted configuration for one ``crayfish chaos`` run."""
+    from repro.faults import (
+        FaultPlan,
+        NetworkDegradation,
+        PartitionOutage,
+        ResiliencePolicy,
+        ServerCrash,
+        StragglerReplica,
+    )
+
+    extra: dict[str, typing.Any] = {"ir": args.ir}
+    if args.fault == "engine-crash":
+        extra["checkpoint_interval"] = args.checkpoint_interval
+        extra["failure_times"] = (args.at,)
+        extra["recovery_time"] = args.fault_duration
+    else:
+        if args.fault == "server-crash":
+            plan = FaultPlan(
+                server_crashes=(
+                    ServerCrash(at=args.at, downtime=args.fault_duration),
+                )
+            )
+        elif args.fault == "partition":
+            plan = FaultPlan(
+                partition_outages=(
+                    PartitionOutage(
+                        at=args.at,
+                        duration=args.fault_duration,
+                        partitions=tuple(range(args.partitions_hit)),
+                    ),
+                )
+            )
+        elif args.fault == "network":
+            plan = FaultPlan(
+                network_degradations=(
+                    NetworkDegradation(
+                        at=args.at,
+                        duration=args.fault_duration,
+                        extra_latency=args.extra_latency,
+                        error_rate=args.error_rate,
+                    ),
+                )
+            )
+        else:  # straggler
+            plan = FaultPlan(
+                stragglers=(
+                    StragglerReplica(
+                        at=args.at,
+                        duration=args.fault_duration,
+                        slowdown=args.slowdown,
+                    ),
+                )
+            )
+        extra["fault_plan"] = plan
+    if not args.no_resilience and args.fault != "engine-crash":
+        extra["resilience"] = ResiliencePolicy(
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff_base=args.backoff_base,
+        )
+    return _config_from(args, **extra)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.report import run_chaos_scenario
+
+    config = _chaos_config(args)
+    outcome = run_chaos_scenario(config)
+    summary = outcome.faulted.faults
+    rows = [
+        ("baseline goodput (events/s)", format_rate(outcome.baseline.throughput)),
+        ("faulted goodput (events/s)", format_rate(outcome.faulted.throughput)),
+        ("goodput ratio", f"{outcome.goodput_ratio:.3f}"),
+        ("completed / produced", f"{outcome.faulted.completed} / {outcome.faulted.produced}"),
+        ("duplicates (replays)", outcome.faulted.duplicates),
+    ]
+    if outcome.recovery is not None:
+        recovered = (
+            f"{outcome.recovery.recovery_time:.2f}s"
+            if outcome.recovery.recovery_time is not None
+            else "not within run"
+        )
+        rows.append(("latency recovery", recovered))
+        rows.append(("peak latency (ms)", format_ms(outcome.recovery.peak_latency)))
+    if summary is not None:
+        rows.append(("faults injected", summary.faults_injected))
+        rows.append(("retries / timeouts", f"{summary.retries} / {summary.timeouts}"))
+        rows.append(("shed / fallbacks", f"{summary.shed} / {summary.fallbacks}"))
+        if summary.engine_restarts:
+            rows.append(
+                ("engine restarts / checkpoints",
+                 f"{summary.engine_restarts} / {summary.checkpoints}"),
+            )
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{config.label()} chaos: {args.fault} @ {args.at}s",
+        )
+    )
+    _maybe_dump(args, [outcome.baseline, outcome.faulted])
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print(format_table(["kind", "names"], [
         ("stream processors", ", ".join(SPS_NAMES)),
@@ -334,6 +448,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the scraped timeline as JSONL to this path",
     )
     metrics_cmd.set_defaults(func=_cmd_metrics)
+
+    chaos_cmd = commands.add_parser(
+        "chaos", help="inject one fault and measure recovery vs. a baseline"
+    )
+    _add_sut_args(chaos_cmd)
+    chaos_cmd.add_argument(
+        "--ir", type=float, default=None, help="input rate; omit to saturate"
+    )
+    chaos_cmd.add_argument(
+        "--fault", default="server-crash", choices=FAULT_CHOICES,
+        help="fault class to inject",
+    )
+    chaos_cmd.add_argument(
+        "--at", type=float, default=2.0, help="fault start time (simulated s)"
+    )
+    chaos_cmd.add_argument(
+        "--fault-duration", type=float, default=0.5, dest="fault_duration",
+        help="fault window / downtime / recovery time (s)",
+    )
+    chaos_cmd.add_argument(
+        "--error-rate", type=float, default=0.0, dest="error_rate",
+        help="network fault: request drop probability",
+    )
+    chaos_cmd.add_argument(
+        "--extra-latency", type=float, default=0.005, dest="extra_latency",
+        help="network fault: added one-way latency (s)",
+    )
+    chaos_cmd.add_argument(
+        "--slowdown", type=float, default=4.0,
+        help="straggler fault: inference slowdown factor",
+    )
+    chaos_cmd.add_argument(
+        "--partitions-hit", type=int, default=32, dest="partitions_hit",
+        help="partition fault: how many input partitions go down",
+    )
+    chaos_cmd.add_argument(
+        "--retries", type=int, default=5, help="client retry budget"
+    )
+    chaos_cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="client per-attempt deadline (s); omit for none",
+    )
+    chaos_cmd.add_argument(
+        "--backoff-base", type=float, default=0.05, dest="backoff_base",
+        help="first retry backoff delay (s)",
+    )
+    chaos_cmd.add_argument(
+        "--checkpoint-interval", type=float, default=0.5,
+        dest="checkpoint_interval",
+        help="engine-crash fault: checkpoint interval (s)",
+    )
+    chaos_cmd.add_argument(
+        "--no-resilience", action="store_true", dest="no_resilience",
+        help="drop the client resilience layer (failed scores are shed)",
+    )
+    chaos_cmd.set_defaults(func=_cmd_chaos)
 
     list_cmd = commands.add_parser("list", help="registered components")
     list_cmd.set_defaults(func=_cmd_list)

@@ -13,6 +13,7 @@ import enum
 import typing
 
 from repro.errors import ConfigError
+from repro.faults import FaultPlan, ResiliencePolicy
 
 
 class WorkloadKind(enum.Enum):
@@ -132,6 +133,14 @@ class ExperimentConfig:
     #: TF-Serving/TorchServe wire API: None/"grpc" is the paper's choice;
     #: "rest" queries the JSON REST endpoint instead (§3.4.3).
     protocol: str | None = None
+    #: Chaos plan: seeded fault injection into broker/network/serving
+    #: (:mod:`repro.faults`). None — the default — injects nothing and
+    #: leaves the run byte-identical to a build without the subsystem.
+    fault_plan: FaultPlan | None = None
+    #: Client-side resilience around external scoring calls: timeouts,
+    #: backoff retries, circuit breaking, shed/fallback degradation.
+    #: None leaves scoring calls unwrapped (the paper's configuration).
+    resilience: ResiliencePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.sps not in SPS_NAMES:
@@ -232,8 +241,11 @@ class ExperimentConfig:
                 f"unknown delivery guarantee {self.delivery_guarantee!r}"
             )
         if self.fault_tolerant:
-            if self.sps != "flink":
-                raise ConfigError("fault tolerance is implemented for Flink only")
+            if self.delivery_guarantee == "exactly_once" and self.sps != "flink":
+                raise ConfigError(
+                    "exactly-once sinks are implemented for Flink only; "
+                    "other engines recover at-least-once"
+                )
             if self.operator_parallelism is not None or self.async_io:
                 raise ConfigError(
                     "fault tolerance does not combine with operator_parallelism "
@@ -245,6 +257,32 @@ class ExperimentConfig:
             raise ConfigError("failure injection requires checkpoint_interval")
         if self.recovery_time < 0:
             raise ConfigError("recovery_time must be non-negative")
+        if self.fault_plan is not None and not self.fault_plan.empty:
+            plan = self.fault_plan
+            if plan.partition_outages and not self.use_broker:
+                raise ConfigError("partition outages need the broker (use_broker)")
+            if plan.touches_serving and is_embedded(self.serving):
+                raise ConfigError(
+                    "server/network/straggler faults target external serving"
+                )
+            if plan.server_crashes or plan.stragglers:
+                if self.autoscale is not None or self.adaptive_batching is not None:
+                    raise ConfigError(
+                        "server crashes and stragglers do not combine with "
+                        "autoscale or adaptive_batching (those replace the "
+                        "plain worker pool the faults target)"
+                    )
+        if self.resilience is not None:
+            if is_embedded(self.serving):
+                raise ConfigError("resilience wraps external serving calls only")
+            if (
+                self.resilience.fallback is not None
+                and self.resilience.fallback not in EMBEDDED_TOOLS
+            ):
+                raise ConfigError(
+                    f"resilience fallback must be an embedded tool "
+                    f"{EMBEDDED_TOOLS}, got {self.resilience.fallback!r}"
+                )
 
     @property
     def embedded(self) -> bool:

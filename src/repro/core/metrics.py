@@ -118,7 +118,11 @@ class MetricsCollector:
         if batch.batch_id in self._seen:
             if self.strict:
                 raise ValueError(f"batch {batch.batch_id} completed twice")
+            # A replayed batch is sink-duplicated work, not a second
+            # completion: counting it in the stats would inflate
+            # throughput and skew latency toward the replay tail.
             self.duplicates += 1
+            return
         self._seen.add(batch.batch_id)
         self.completions.append(
             Completion(batch.batch_id, batch.created_at, end_time)
@@ -128,20 +132,33 @@ class MetricsCollector:
     def count(self) -> int:
         return len(self.completions)
 
-    def after(self, cutoff: float) -> list[Completion]:
-        """Completions whose *end* falls at/after ``cutoff`` (warm-up
+    def after(
+        self, cutoff: float, end: float | None = None
+    ) -> list[Completion]:
+        """Completions whose *end* falls in ``[cutoff, end]`` (warm-up
         discard happens on the end timestamp, like the paper's discard of
-        the first 25% of measurements)."""
-        return [c for c in self.completions if c.end_time >= cutoff]
+        the first 25% of measurements). ``end=None`` leaves the window
+        open on the right."""
+        return [
+            c
+            for c in self.completions
+            if c.end_time >= cutoff and (end is None or c.end_time <= end)
+        ]
 
-    def latency_stats(self, cutoff: float = 0.0) -> LatencyStats:
-        return LatencyStats.from_samples([c.latency for c in self.after(cutoff)])
+    def latency_stats(
+        self, cutoff: float = 0.0, end: float | None = None
+    ) -> LatencyStats:
+        return LatencyStats.from_samples(
+            [c.latency for c in self.after(cutoff, end)]
+        )
 
     def throughput(self, start: float, end: float) -> float:
-        """Completed events per second over ``[start, end)``."""
+        """Completed events per second over the closed window
+        ``[start, end]`` — the same window :meth:`latency_stats` uses, so
+        both report over one population of completions."""
         if end <= start:
-            raise ValueError(f"empty window [{start}, {end})")
-        completed = sum(1 for c in self.completions if start <= c.end_time < end)
+            raise ValueError(f"empty window [{start}, {end}]")
+        completed = sum(1 for c in self.completions if start <= c.end_time <= end)
         return completed / (end - start)
 
     def latency_series(self, cutoff: float = 0.0) -> list[tuple[float, float]]:

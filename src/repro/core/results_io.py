@@ -29,6 +29,11 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "inference_requests": result.inference_requests,
         "measure_start": result.measure_start,
         "measure_end": result.measure_end,
+        "faults": (
+            dataclasses.asdict(result.faults)
+            if result.faults is not None
+            else None
+        ),
     }
 
 

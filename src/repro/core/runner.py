@@ -26,6 +26,9 @@ from repro.sps import create_data_processor
 from repro.sps.gateways import BrokerInput, BrokerOutput, DirectInput, DirectOutput
 from repro.tracing.spans import NullTracer, Tracer, make_tracer
 
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.summary import FaultSummary
+
 INPUT_TOPIC = "crayfish-input"
 OUTPUT_TOPIC = "crayfish-output"
 
@@ -71,6 +74,9 @@ class ExperimentResult:
     #: metrics on (``run(metrics=...)``); None otherwise. Feed it to
     #: :mod:`repro.metrics.export` / :mod:`repro.metrics.dashboard`.
     telemetry: "Telemetry | None" = None
+    #: Fault-injection and resilience tallies, when the run had a fault
+    #: plan, a resilience policy, or checkpoint recovery; None otherwise.
+    faults: "FaultSummary | None" = None
 
     @property
     def label(self) -> str:
@@ -218,6 +224,39 @@ class ExperimentRunner:
                 AutoscalePolicy(min_workers=low, max_workers=high),
                 horizon=config.duration,
             )
+        # The fault injector targets the real server; the engine scores
+        # through the (optionally) resilience-wrapped tool.
+        service = tool
+        plan = config.fault_plan
+        resilience = None
+        if config.resilience is not None or (
+            plan is not None and plan.can_fail_requests
+        ):
+            from repro.faults.plan import ResiliencePolicy
+            from repro.faults.resilience import ResilientScorer
+
+            # A fault plan that can fail requests needs *some* policy or a
+            # failed score would crash the scoring task: default to
+            # shedding the batch (drop it, count it, move on).
+            policy = (
+                config.resilience
+                if config.resilience is not None
+                else ResiliencePolicy(on_exhausted="shed")
+            )
+            fallback = None
+            if policy.fallback is not None:
+                fallback = create_serving_tool(
+                    policy.fallback,
+                    env,
+                    config.model,
+                    mp=self._scoring_parallelism(),
+                    gpu=config.gpu,
+                    rng=rng,
+                )
+                fallback.tracer = tracer
+            tool = resilience = ResilientScorer(
+                env, tool, policy, rng=rng, fallback=fallback
+            )
         on_complete = collector.on_complete
         if registry.enabled:
             latency_hist = registry.histogram(
@@ -242,10 +281,34 @@ class ExperimentRunner:
             operator_parallelism=config.operator_parallelism,
             async_io=config.async_io,
             scoring_window=config.scoring_window,
-            fault_tolerance=self._fault_tolerance(),
+            # Flink checkpoints natively; the other engines get recovery
+            # attached externally below.
+            fault_tolerance=(
+                self._fault_tolerance() if config.sps == "flink" else None
+            ),
             tracer=tracer,
             metrics=registry,
         )
+        recovery = None
+        if config.fault_tolerant and config.sps != "flink":
+            from repro.faults.recovery import EngineRecovery
+
+            recovery = EngineRecovery(env, engine, self._fault_tolerance())
+            recovery.start()
+        injector = None
+        if plan is not None and not plan.empty:
+            from repro.faults.injectors import FaultInjector
+
+            injector = FaultInjector(
+                env,
+                plan,
+                cluster=cluster if config.use_broker else None,
+                server=service if plan.touches_serving else None,
+                topics={"input": INPUT_TOPIC, "output": OUTPUT_TOPIC},
+                rng=rng,
+                metrics=registry,
+            )
+            injector.start()
 
         factory = BatchFactory(config.bsz, self._point_shape(), tracer=tracer)
         producer = self._build_producer(
@@ -294,8 +357,10 @@ class ExperimentRunner:
         cutoff = config.duration * config.warmup_fraction
         return ExperimentResult(
             config=config,
+            # Throughput and latency summarize the SAME closed window
+            # [cutoff, duration]: one population of completions.
             throughput=collector.throughput(cutoff, config.duration),
-            latency=collector.latency_stats(cutoff),
+            latency=collector.latency_stats(cutoff, config.duration),
             completed=collector.count,
             produced=producer.batches_produced,
             measure_start=cutoff,
@@ -306,6 +371,51 @@ class ExperimentRunner:
             backlog_series=tuple(probe.series()) if probe is not None else (),
             trace=tracer if not isinstance(tracer, NullTracer) else None,
             telemetry=Telemetry(registry, scraper) if scraper is not None else None,
+            faults=self._fault_summary(engine, injector, resilience, recovery),
+        )
+
+    def _fault_summary(
+        self,
+        engine: typing.Any,
+        injector: typing.Any,
+        resilience: typing.Any,
+        recovery: typing.Any,
+    ) -> "FaultSummary | None":
+        """Tally what the chaos machinery did; None on a plain run."""
+        chaos_active = (
+            injector is not None
+            or resilience is not None
+            or recovery is not None
+            or self.config.fault_tolerant
+        )
+        if not chaos_active:
+            return None
+        from repro.faults.summary import FaultSummary
+
+        counts = injector.counts if injector is not None else {}
+        breaker = resilience.breaker if resilience is not None else None
+        if recovery is not None:
+            failures = recovery.failures_injected
+            restarts = recovery.restarts
+            checkpoints = recovery.checkpoints_completed
+        else:  # Flink's native checkpointing (or no recovery at all)
+            failures = getattr(engine, "failures_injected", 0)
+            restarts = getattr(engine, "restarts", 0)
+            checkpoints = getattr(engine, "checkpoints_completed", 0)
+        return FaultSummary(
+            server_crashes=counts.get("server_crash", 0),
+            partition_outages=counts.get("partition_outage", 0),
+            network_degradations=counts.get("network_degradation", 0),
+            stragglers=counts.get("straggler", 0),
+            engine_failures=failures,
+            engine_restarts=restarts,
+            checkpoints=checkpoints,
+            retries=resilience.retries if resilience is not None else 0,
+            timeouts=resilience.timeouts if resilience is not None else 0,
+            shed=resilience.shed if resilience is not None else 0,
+            fallbacks=resilience.fallbacks if resilience is not None else 0,
+            breaker_opens=breaker.opens if breaker is not None else 0,
+            breaker_fast_fails=breaker.fast_fails if breaker is not None else 0,
         )
 
     def _build_producer(

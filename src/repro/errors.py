@@ -40,3 +40,11 @@ class ShapeError(ReproError):
 
 class ServingError(ReproError):
     """A model-serving component failed (load or apply)."""
+
+
+class TransientError(ReproError):
+    """A retryable failure on the serving path: a crashed/unreachable
+    server, an injected network fault, or a client-side timeout.
+
+    Raised only when fault injection is active; the resilience layer
+    catches it to drive retries, circuit breaking, and degradation."""

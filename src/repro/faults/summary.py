@@ -1,0 +1,42 @@
+"""Per-run fault/resilience accounting attached to experiment results."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSummary:
+    """What the fault subsystem did during one run.
+
+    Populated on :class:`~repro.core.runner.ExperimentResult` whenever a
+    fault plan, a resilience policy, or checkpoint/replay recovery was
+    active; None otherwise.
+    """
+
+    #: Fault injections, per class.
+    server_crashes: int = 0
+    partition_outages: int = 0
+    network_degradations: int = 0
+    stragglers: int = 0
+    #: Engine-level checkpoint/replay recovery (any engine).
+    engine_failures: int = 0
+    engine_restarts: int = 0
+    checkpoints: int = 0
+    #: Client-side resilience layer activity.
+    retries: int = 0
+    timeouts: int = 0
+    shed: int = 0
+    fallbacks: int = 0
+    breaker_opens: int = 0
+    breaker_fast_fails: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        return (
+            self.server_crashes
+            + self.partition_outages
+            + self.network_degradations
+            + self.stragglers
+            + self.engine_failures
+        )

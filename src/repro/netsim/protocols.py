@@ -28,16 +28,55 @@ class RpcCosts:
 
 
 class RpcChannel:
-    """Base RPC channel; subclasses choose the payload encoding."""
+    """Base RPC channel; subclasses choose the payload encoding.
+
+    A channel can be *impaired* by the fault injector: extra one-way
+    latency and/or a request error rate for the duration of a network
+    degradation window. Unimpaired channels (the default) add zero cost
+    and never draw randomness, keeping fault-free runs byte-identical.
+    """
 
     #: Extra fixed client-side cost per call (stub dispatch, headers).
     call_overhead = 0.0
 
     def __init__(self, link: Link | None = None) -> None:
         self.link = link if link is not None else Link()
+        self._extra_latency = 0.0
+        self._error_rate = 0.0
+        self._error_rng = None
 
     def _encode(self, values: int) -> Payload:
         raise NotImplementedError
+
+    def impair(
+        self,
+        extra_latency: float = 0.0,
+        error_rate: float = 0.0,
+        rng=None,
+    ) -> None:
+        """Degrade the channel: ``extra_latency`` is added to each one-way
+        transfer; ``error_rate`` makes :meth:`roll_error` drop requests
+        with that probability, drawing from ``rng`` (a seeded stream)."""
+        self._extra_latency = extra_latency
+        self._error_rate = error_rate
+        self._error_rng = rng
+
+    def clear_impairment(self) -> None:
+        """Restore the healthy channel."""
+        self._extra_latency = 0.0
+        self._error_rate = 0.0
+        self._error_rng = None
+
+    @property
+    def impaired(self) -> bool:
+        return self._extra_latency > 0.0 or self._error_rate > 0.0
+
+    def roll_error(self) -> bool:
+        """Did the network drop this request? Only draws randomness while
+        an error-rate impairment is active."""
+        if self._error_rate <= 0.0 or self._error_rng is None:
+            return False
+        return float(self._error_rng.uniform()) < self._error_rate
 
     def round_trip_costs(self, request_values: int, response_values: int) -> RpcCosts:
         """Transport costs of a call carrying the given tensor sizes."""
@@ -48,8 +87,10 @@ class RpcChannel:
         )
         return RpcCosts(
             client_cpu=client_cpu,
-            request_transfer=self.link.transfer_time(request.nbytes),
-            response_transfer=self.link.transfer_time(response.nbytes),
+            request_transfer=self.link.transfer_time(request.nbytes)
+            + self._extra_latency,
+            response_transfer=self.link.transfer_time(response.nbytes)
+            + self._extra_latency,
         )
 
     def server_decode_cost(self, request_values: int) -> float:

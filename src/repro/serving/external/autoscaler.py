@@ -174,7 +174,9 @@ class Autoscaler:
             span = tracer.begin(request.ctx, "serving.encode")
             yield self.env.timeout(encode)
             tracer.end(span)
-            request.reply.succeed()
+            # The client may have timed out and abandoned the reply.
+            if not request.reply.triggered:
+                request.reply.succeed()
             service.requests_served += 1
 
     def _control_loop(self) -> typing.Generator:

@@ -135,5 +135,7 @@ def _batch_worker(service) -> typing.Generator:
         for span in spans:
             tracer.end(span)
         for request in batch:
-            request.reply.succeed()
+            # The client may have timed out and abandoned the reply.
+            if not request.reply.triggered:
+                request.reply.succeed()
             service.requests_served += 1

@@ -12,10 +12,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.errors import TransientError
 from repro.netsim import RpcChannel
 from repro.serving.base import ScoringResult, ServingTool
 from repro.serving.costs import ServingCostModel
-from repro.simul import Environment, Event, Resource, Store
+from repro.simul import Environment, Event, Interrupt, Process, Resource, Store
 
 
 @dataclasses.dataclass
@@ -45,6 +46,12 @@ class ExternalServingService(ServingTool):
         # models in a single session; Fig. 7).
         self._engine = Resource(env, capacity=costs.engine_concurrency)
         self._workers_started = False
+        # Fault-injection state: crash/restart and straggling workers.
+        self._down = False
+        self._worker_processes: list[Process] = []
+        self._inflight: list[_Request] = []
+        self._straggle: dict[int, float] = {}
+        self.crashes = 0
 
     def _register_metrics(self, registry: typing.Any) -> None:
         registry.gauge(
@@ -69,13 +76,22 @@ class ExternalServingService(ServingTool):
         if self._workers_started:
             return
         self._workers_started = True
-        for __ in range(self.costs.mp):
-            self.env.process(self._worker())
+        self._worker_processes = [
+            self.env.process(self._worker(index))
+            for index in range(self.costs.mp)
+        ]
 
-    def _worker(self) -> typing.Generator:
+    def _worker(self, index: int = 0) -> typing.Generator:
+        try:
+            yield from self._worker_loop(index)
+        except Interrupt:
+            return  # killed by a server crash
+
+    def _worker_loop(self, index: int) -> typing.Generator:
         model = self.costs.model
         while True:
             request: _Request = yield self._queue.get()
+            self._inflight.append(request)
             self.tracer.lapse(request.ctx, "serving.queue_wait", "serving.enqueue")
             decode = self.channel.server_decode_cost(
                 request.bsz * model.input_values
@@ -98,6 +114,9 @@ class ExternalServingService(ServingTool):
                         vectorized=request.vectorized,
                         now=self.env.now,
                     )
+                    # A straggling replica (noisy neighbour) stretches
+                    # inference on this worker; 1.0 when healthy.
+                    * self._straggle.get(index, 1.0)
                 )
                 self.tracer.end(span)
             encode = self.channel.server_encode_cost(
@@ -106,8 +125,55 @@ class ExternalServingService(ServingTool):
             span = self.tracer.begin(request.ctx, "serving.encode")
             yield self.env.timeout(encode)
             self.tracer.end(span)
-            request.reply.succeed()
+            # The client may have timed out and abandoned the reply: the
+            # work is done (and counted) but the response is dropped.
+            if not request.reply.triggered:
+                request.reply.succeed()
             self.requests_served += 1
+            self._inflight.remove(request)
+
+    # -- fault injection -------------------------------------------------
+
+    def set_straggler(self, index: int, slowdown: float) -> None:
+        """Make worker ``index`` a straggler: its inference times stretch
+        by ``slowdown`` until :meth:`clear_straggler`."""
+        self._straggle[index] = slowdown
+
+    def clear_straggler(self, index: int) -> None:
+        self._straggle.pop(index, None)
+
+    def crash(self, drop_queue: bool = True) -> None:
+        """Kill the server process: workers die, in-flight requests fail,
+        and (optionally) the ingress queue is dropped.
+
+        Clients see :class:`TransientError` on their pending replies; new
+        calls fail fast until :meth:`restart` completes.
+        """
+        self.crashes += 1
+        self._down = True
+        self._loaded = False  # the model must be reloaded on restart
+        self._workers_started = False
+        workers, self._worker_processes = self._worker_processes, []
+        for worker in workers:
+            if worker.is_alive:
+                worker.interrupt("server crashed")
+        inflight, self._inflight = self._inflight, []
+        dropped = list(inflight)
+        if drop_queue:
+            while True:
+                ok, item = self._queue.try_get()
+                if not ok:
+                    break
+                dropped.append(item)
+        for request in dropped:
+            if not request.reply.triggered:
+                request.reply.fail(TransientError(f"{self.name}: server crashed"))
+
+    def restart(self) -> typing.Generator:
+        """Coroutine: bring the server back (model reload pays the full
+        load cost again) and resume draining the queue."""
+        yield from self.load()
+        self._down = False
 
     # -- client side -------------------------------------------------------
 
@@ -121,7 +187,10 @@ class ExternalServingService(ServingTool):
         self, bsz: int, vectorized: bool = False, ctx: typing.Any = None
     ) -> typing.Generator:
         """Coroutine run by the SPS scoring task: one blocking RPC."""
-        self._require_loaded()
+        if not self._down:
+            # While crashed the server is unreachable, not unloaded — the
+            # client gets a TransientError below, not a usage error.
+            self._require_loaded()
         start = self.env.now
         model = self.costs.model
         costs = self.channel.round_trip_costs(
@@ -135,6 +204,10 @@ class ExternalServingService(ServingTool):
         span = self.tracer.begin(ctx, "rpc.request_transfer")
         yield self.env.timeout(costs.request_transfer)
         self.tracer.end(span)
+        if self._down:
+            raise TransientError(f"{self.name}: server unavailable")
+        if self.channel.roll_error():
+            raise TransientError(f"{self.name}: connection reset")
         yield from self._pre_dispatch(ctx)
         reply = Event(self.env)
         self.tracer.mark(ctx, "serving.enqueue")

@@ -16,7 +16,7 @@ from repro.core.batch import CrayfishDataBatch
 from repro.metrics.registry import NO_METRICS
 from repro.netsim import json_payload
 from repro.serving.base import ServingTool
-from repro.simul import Environment
+from repro.simul import Environment, Interrupt, Process
 from repro.sps.gateways import InputGateway, OutputGateway, SourceHandle
 from repro.tracing.spans import NO_TRACE
 
@@ -52,7 +52,14 @@ class DataProcessor:
         self.tracer = tracer
         self.metrics = metrics
         self.batches_completed = 0
+        #: Batches dropped by graceful degradation (resilience "shed").
+        self.batches_shed = 0
         self._sources: list[SourceHandle] = []
+        #: Live task processes, so fault injection can crash the engine.
+        self._task_processes: list[Process] = []
+        #: Per-source offset maps to restore on the next (re)spawn, in
+        #: source-creation order (checkpoint recovery).
+        self._pending_restore: list[dict[int, int]] = []
         #: Output records buffered in asynchronous emit (fire-and-forget
         #: Kafka produces in flight). Maintained unconditionally — two
         #: integer ops per batch — so metrics-on/off runs stay identical.
@@ -75,6 +82,12 @@ class DataProcessor:
             labels={"engine": self.name},
             fn=lambda: self.batches_completed,
         )
+        metrics.counter(
+            "engine_batches_shed",
+            help="batches dropped by resilience load shedding",
+            labels={"engine": self.name},
+            fn=lambda: self.batches_shed,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -89,9 +102,54 @@ class DataProcessor:
     def _spawn_tasks(self) -> None:
         raise NotImplementedError
 
+    def _spawn(self, generator: typing.Generator) -> Process:
+        """Spawn a crashable task process and track it for fault
+        injection; an injected interrupt terminates the task quietly."""
+        self._task_processes = [p for p in self._task_processes if p.is_alive]
+        process = self.env.process(self._crashable(generator))
+        self._task_processes.append(process)
+        return process
+
+    @staticmethod
+    def _crashable(generator: typing.Generator) -> typing.Generator:
+        try:
+            yield from generator
+        except Interrupt:
+            return
+
+    @property
+    def tasks_alive(self) -> bool:
+        """Is any engine task still running? (False after a crash.)"""
+        return any(p.is_alive for p in self._task_processes)
+
+    def crash(self) -> None:
+        """Fail the engine job: every task dies, source handles are
+        discarded (their offsets are lost with the process state)."""
+        tasks, self._task_processes = self._task_processes, []
+        self._sources = []
+        for task in tasks:
+            if task.is_alive:
+                task.interrupt("engine crashed")
+
+    def checkpoint_positions(self) -> list[dict[int, int]]:
+        """Source offsets per handle, in creation order (a checkpoint)."""
+        return [source.position() for source in self._sources]
+
+    def restart(self, positions: list[dict[int, int]] | None = None) -> None:
+        """Re-run the tasks, optionally rewinding sources to a checkpoint.
+
+        ``positions`` must come from :meth:`checkpoint_positions`; tasks
+        recreate their sources in the same order, so offsets are restored
+        positionally as each source is opened.
+        """
+        self._pending_restore = [dict(p) for p in positions or []]
+        self._spawn_tasks()
+
     def _new_source(self, member: int, members: int) -> SourceHandle:
         """Open a source handle and keep it observable for telemetry."""
         source = self.input.make_source(member, members)
+        if self._pending_restore:
+            source.seek(self._pending_restore.pop(0))
         self._sources.append(source)
         return source
 

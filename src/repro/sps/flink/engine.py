@@ -69,7 +69,7 @@ class FlinkProcessor(DataProcessor):
     def _spawn_tasks(self) -> None:
         if self.operator_parallelism is None:
             for task in range(self.mp):
-                self.env.process(self._chained_task(task, self.mp))
+                self._spawn(self._chained_task(task, self.mp))
         else:
             sources, scorers, sinks = self.operator_parallelism
             score_queue = Store(self.env, capacity=EXCHANGE_CAPACITY)
@@ -88,11 +88,11 @@ class FlinkProcessor(DataProcessor):
                     fn=lambda q=queue: len(q._putters),
                 )
             for task in range(sources):
-                self.env.process(self._source_task(task, sources, score_queue))
+                self._spawn(self._source_task(task, sources, score_queue))
             for __ in range(scorers):
-                self.env.process(self._scoring_task(score_queue, sink_queue))
+                self._spawn(self._scoring_task(score_queue, sink_queue))
             for __ in range(sinks):
-                self.env.process(self._sink_task(sink_queue))
+                self._spawn(self._sink_task(sink_queue))
 
     # -- operator bodies ---------------------------------------------------
 
@@ -111,10 +111,13 @@ class FlinkProcessor(DataProcessor):
         ) * self.slowdown
 
     def _score(self, event: InputEvent) -> typing.Generator:
+        """Returns the scoring result; ``None`` means the resilience layer
+        shed the request and the event must not reach the sink."""
         span = self.tracer.begin(event.batch, "flink.score")
         yield self.env.timeout(self.profile.score_overhead * self.slowdown)
-        yield from self.tool.score(event.batch.points, ctx=event.batch)
+        result = yield from self.tool.score(event.batch.points, ctx=event.batch)
         self.tracer.end(span)
+        return result
 
     def _sink(self, event: InputEvent) -> typing.Generator:
         batch = event.batch
@@ -143,7 +146,10 @@ class FlinkProcessor(DataProcessor):
                 yield self.env.timeout(self._source_cost(event))
                 self.tracer.end(span)
                 if inflight is None:
-                    yield from self._score(event)
+                    result = yield from self._score(event)
+                    if result is None:
+                        self.batches_shed += 1
+                        continue
                     yield from self._sink(event)
                 else:
                     # Async I/O: park the request with a capacity-bounded
@@ -189,15 +195,21 @@ class FlinkProcessor(DataProcessor):
         ]
         yield self.env.timeout(self.profile.score_overhead * self.slowdown)
         total_points = sum(event.batch.points for event in window)
-        yield from self.tool.score(total_points)
+        result = yield from self.tool.score(total_points)
         for span in spans:
             self.tracer.end(span)
+        if result is None:
+            self.batches_shed += len(window)
+            return
         for event in window:
             yield from self._sink(event)
 
     def _async_round_trip(self, event: InputEvent, inflight: Resource, slot) -> typing.Generator:
-        yield from self._score(event)
+        result = yield from self._score(event)
         inflight.release(slot)
+        if result is None:
+            self.batches_shed += 1
+            return
         yield from self._sink(event)
 
     def _source_task(self, member: int, members: int, downstream: Store) -> typing.Generator:
@@ -219,7 +231,10 @@ class FlinkProcessor(DataProcessor):
         while True:
             event = yield upstream.get()
             self.tracer.lapse(event.batch, "flink.exchange_wait", "flink.exchange")
-            yield from self._score(event)
+            result = yield from self._score(event)
+            if result is None:
+                self.batches_shed += 1
+                continue
             wait = self.tracer.begin(event.batch, "flink.buffer_wait")
             yield downstream.put(event)
             self.tracer.end(wait)

@@ -128,7 +128,10 @@ class CheckpointedFlinkProcessor(FlinkProcessor):
                 events = yield from source.poll()
                 for event in events:
                     yield self.env.timeout(self._source_cost(event))
-                    yield from self._score(event)
+                    result = yield from self._score(event)
+                    if result is None:  # shed by the resilience layer
+                        self.batches_shed += 1
+                        continue
                     yield from self._ft_sink(task_index, event)
         except Interrupt:
             return  # crashed; the injector handles restart

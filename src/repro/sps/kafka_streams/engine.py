@@ -24,6 +24,12 @@ class KafkaStreamsProcessor(DataProcessor):
     name = "kafka_streams"
     profile = cal.KAFKA_STREAMS_PROFILE
 
+    def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
+        super().__init__(*args, **kwargs)
+        # Lives across restarts: _spawn_tasks runs again after recovery
+        # and must not reset the cumulative counter.
+        self.poll_cycles = 0
+
     @property
     def slowdown(self) -> float:
         """Kafka Streams' pull model fetches straight from partitions per
@@ -36,14 +42,13 @@ class KafkaStreamsProcessor(DataProcessor):
         return 1.0
 
     def _spawn_tasks(self) -> None:
-        self.poll_cycles = 0
         self.metrics.counter(
             "kafka_streams_poll_cycles",
             help="poll cycles executed across all stream threads",
             fn=lambda: self.poll_cycles,
         )
         for thread in range(self.mp):
-            self.env.process(self._stream_thread(thread, self.mp))
+            self._spawn(self._stream_thread(thread, self.mp))
 
     def _stream_thread(self, member: int, members: int) -> typing.Generator:
         source = self._new_source(member, members)
@@ -66,8 +71,11 @@ class KafkaStreamsProcessor(DataProcessor):
         self.tracer.end(span)
         span = self.tracer.begin(batch, "kafka_streams.score")
         yield self.env.timeout(self.profile.score_overhead * self.slowdown)
-        yield from self.tool.score(batch.points, ctx=batch)
+        result = yield from self.tool.score(batch.points, ctx=batch)
         self.tracer.end(span)
+        if result is None:  # shed by the resilience layer
+            self.batches_shed += 1
+            return
         produce = (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
         span = self.tracer.begin(batch, "kafka_streams.produce")
         yield self.env.timeout(produce)

@@ -33,12 +33,16 @@ class RayProcessor(DataProcessor):
         # One serialized per-node scheduler shared by all actors.
         self._node = Resource(self.env, capacity=1)
         self._mailboxes: dict[str, list[Store]] = {"score": [], "output": []}
-        for stage, boxes in self._mailboxes.items():
+        for stage in self._mailboxes:
             self.metrics.gauge(
                 "ray_mailbox_depth",
                 help="messages queued in the stage's actor mailboxes",
                 labels={"stage": stage},
-                fn=lambda b=boxes: sum(box.level for box in b),
+                # Late-bound through self so the gauge follows the fresh
+                # mailboxes created when the engine restarts.
+                fn=lambda s=stage: sum(
+                    box.level for box in self._mailboxes[s]
+                ),
             )
         self.metrics.gauge(
             "ray_scheduler_queue",
@@ -50,9 +54,9 @@ class RayProcessor(DataProcessor):
             out_box: Store = Store(self.env, capacity=MAILBOX_CAPACITY)
             self._mailboxes["score"].append(score_box)
             self._mailboxes["output"].append(out_box)
-            self.env.process(self._input_actor(lane, self.mp, score_box))
-            self.env.process(self._scoring_actor(score_box, out_box))
-            self.env.process(self._output_actor(out_box))
+            self._spawn(self._input_actor(lane, self.mp, score_box))
+            self._spawn(self._scoring_actor(score_box, out_box))
+            self._spawn(self._output_actor(out_box))
 
     def _input_actor(self, member: int, members: int, downstream: Store) -> typing.Generator:
         source = self._new_source(member, members)
@@ -91,8 +95,11 @@ class RayProcessor(DataProcessor):
                 yield self.env.timeout(cal.RAY_NODE_PER_MESSAGE)
                 self.tracer.end(span)
             span = self.tracer.begin(event.batch, "ray.score")
-            yield from self.tool.score(event.batch.points, ctx=event.batch)
+            result = yield from self.tool.score(event.batch.points, ctx=event.batch)
             self.tracer.end(span)
+            if result is None:  # shed by the resilience layer
+                self.batches_shed += 1
+                continue
             wait = self.tracer.begin(event.batch, "ray.mailbox_wait")
             yield downstream.put(event)
             self.tracer.end(wait)

@@ -65,8 +65,14 @@ def create_data_processor(
             raise ConfigError("scoring_window is Flink-only")
         kwargs["scoring_window"] = scoring_window
     if fault_tolerance is not None:
+        # Flink owns a native checkpointing implementation; the other
+        # engines recover through repro.faults.recovery.EngineRecovery,
+        # which the runner attaches externally.
         if engine_cls is not FlinkProcessor:
-            raise ConfigError("fault tolerance is Flink-only")
+            raise ConfigError(
+                "engine-native fault tolerance is Flink-only; other "
+                "engines use repro.faults.recovery"
+            )
         engine_cls = CheckpointedFlinkProcessor
         kwargs["fault_tolerance"] = fault_tolerance
     return engine_cls(

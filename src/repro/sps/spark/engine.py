@@ -51,7 +51,7 @@ class SparkProcessor(DataProcessor):
             help="micro-batch triggers completed",
             fn=lambda: self.triggers_fired,
         )
-        self.env.process(self._driver_loop())
+        self._spawn(self._driver_loop())
 
     def _driver_loop(self) -> typing.Generator:
         source = self._new_source(0, 1)
@@ -80,11 +80,11 @@ class SparkProcessor(DataProcessor):
             yield slot
             for wait in waits:
                 self.tracer.end(wait)
-            self.env.process(self._execute_trigger(events, slot))
+            self._spawn(self._execute_trigger(events, slot))
 
     def _execute_trigger(self, events: list[InputEvent], slot) -> typing.Generator:
         chunks = self._split(events, self.mp)
-        tasks = [self.env.process(self._chunk_task(chunk)) for chunk in chunks]
+        tasks = [self._spawn(self._chunk_task(chunk)) for chunk in chunks]
         yield self.env.all_of(tasks)
         self._inflight.release(slot)
         self.triggers_fired += 1
@@ -118,9 +118,12 @@ class SparkProcessor(DataProcessor):
             self.tracer.begin(e.batch, "spark.score", chunk=len(events))
             for e in events
         ]
-        yield from self.tool.score(total_points, vectorized=True)
+        result = yield from self.tool.score(total_points, vectorized=True)
         for span in spans:
             self.tracer.end(span)
+        if result is None:  # shed by the resilience layer
+            self.batches_shed += len(events)
+            return
         for event in events:
             batch = event.batch
             span = self.tracer.begin(batch, "spark.sink")

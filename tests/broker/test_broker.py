@@ -69,6 +69,50 @@ def test_round_robin_partitioning():
     assert seen == [0, 1, 2, 0, 1, 2]
 
 
+def test_idle_partition_waiters_stay_bounded():
+    """Regression: each poll parks a data-available waiter on *every*
+    assigned partition but only the winner fires; losers used to pile up
+    forever on partitions that never grow."""
+    env = Environment()
+    cluster = make_cluster(env, partitions=2)
+    producer = Producer(env, cluster)
+    consumer = Consumer(env, cluster, "input")
+    consumed = []
+
+    def produce():
+        for __ in range(30):
+            yield env.timeout(0.01)
+            # key=0 pins every record to partition 0; partition 1 starves.
+            yield from producer.send("input", value="x", nbytes=100, key=0)
+
+    def consume():
+        while len(consumed) < 30:
+            records = yield from consumer.poll()
+            consumed.extend(records)
+
+    env.process(produce())
+    env.process(consume())
+    env.run()
+    assert len(consumed) == 30
+    idle = cluster.topic("input").partition(1)
+    assert len(idle._waiters) <= 1  # only the current poll's waiter, if any
+
+
+def test_cancel_wait_deregisters_untriggered_waiter():
+    env = Environment()
+    cluster = make_cluster(env, partitions=1)
+    log = cluster.topic("input").partition(0)
+    waiter = log.data_available(0)
+    assert len(log._waiters) == 1
+    log.cancel_wait(waiter)
+    assert log._waiters == []
+    # Cancelling a fired waiter is a no-op (it is no longer registered).
+    log.append(timestamp=0.0, value="x", nbytes=10.0)
+    fired = log.data_available(0)
+    log.cancel_wait(fired)
+    assert fired.triggered
+
+
 def test_keyed_partitioning():
     env = Environment()
     cluster = make_cluster(env, partitions=4)

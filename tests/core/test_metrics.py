@@ -105,3 +105,34 @@ def test_throughput_window():
 def test_completion_latency():
     completion = Completion(batch_id=1, created_at=2.0, end_time=5.0)
     assert completion.latency == 3.0
+
+
+def test_replayed_batch_not_double_counted():
+    """Regression: under at-least-once recovery a replayed batch used to
+    land in ``completions`` a second time, inflating throughput and
+    skewing latency toward the replay tail."""
+    env = Environment()
+    collector = MetricsCollector(env, strict=False)
+    collector.on_complete(batch(0, created_at=0.0), end_time=0.5)
+    before = collector.latency_stats()
+    collector.on_complete(batch(0, created_at=0.0), end_time=3.0)  # replay
+    assert collector.duplicates == 1
+    assert collector.count == 1  # the replay is not a second completion
+    assert collector.latency_stats() == before
+    assert collector.throughput(0.0, 4.0) == pytest.approx(0.25)
+
+
+def test_throughput_and_latency_share_the_window():
+    """Regression: throughput used to count ``start <= end_time < end``
+    while latency stats took ``end_time >= cutoff`` unbounded — a
+    completion landing exactly on the horizon was visible to one metric
+    and not the other."""
+    env = Environment()
+    collector = MetricsCollector(env)
+    collector.on_complete(batch(0, created_at=0.0), end_time=1.0)
+    collector.on_complete(batch(1, created_at=0.0), end_time=2.0)  # == end
+    collector.on_complete(batch(2, created_at=0.0), end_time=2.5)  # beyond
+    assert collector.throughput(0.0, 2.0) == pytest.approx(1.0)  # 2 in [0, 2]
+    stats = collector.latency_stats(cutoff=0.0, end=2.0)
+    assert stats.count == 2  # the same two completions, nothing more
+    assert stats.maximum == 2.0

@@ -1,0 +1,112 @@
+"""Chaos must be deterministic, and idle chaos must be invisible.
+
+Two contracts from the issue:
+
+1. The same seed and the same fault plan replay *exactly* — every fault
+   fires at the same instant, every retry draws the same jitter, so two
+   runs are indistinguishable on any engine.
+2. Faults off means byte-identical: a run with the resilience layer
+   armed and a fault plan whose windows never arrive inside the horizon
+   must produce exactly the results of a plain run. The wrapper and the
+   injectors may not schedule events or draw randomness on the happy
+   path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.runner import ExperimentRunner
+from repro.faults import (
+    FaultPlan,
+    NetworkDegradation,
+    ResiliencePolicy,
+    ServerCrash,
+)
+
+COMBOS = [
+    ("flink", "tf_serving"),
+    ("kafka_streams", "tf_serving"),
+    ("spark_ss", "tf_serving"),
+    ("ray", "tf_serving"),
+]
+
+#: Fires mid-run: exercises crash + flaky network on every engine.
+ACTIVE_PLAN = FaultPlan(
+    server_crashes=(ServerCrash(at=1.0, downtime=0.2),),
+    network_degradations=(
+        NetworkDegradation(at=2.0, duration=0.5, error_rate=0.3),
+    ),
+)
+
+#: Armed but idle: every window starts far beyond the horizon.
+IDLE_PLAN = FaultPlan(
+    server_crashes=(ServerCrash(at=50.0, downtime=0.2),),
+    network_degradations=(
+        NetworkDegradation(at=60.0, duration=0.5, error_rate=0.3),
+    ),
+)
+
+RETRY = ResiliencePolicy(retries=3, backoff_base=0.02, jitter=0.1)
+
+
+def snapshot(result):
+    return (
+        dataclasses.asdict(result.latency),
+        result.throughput,
+        result.completed,
+        result.produced,
+        result.duplicates,
+        result.series,
+    )
+
+
+@pytest.mark.parametrize("sps,serving", COMBOS)
+def test_same_seed_same_chaos(sps, serving):
+    config = ExperimentConfig(
+        sps=sps,
+        serving=serving,
+        model="ffnn",
+        ir=100.0,
+        duration=3.0,
+        fault_plan=ACTIVE_PLAN,
+        resilience=RETRY,
+    )
+    first = ExperimentRunner(config).run(seed=7)
+    second = ExperimentRunner(config).run(seed=7)
+    assert snapshot(first) == snapshot(second)
+    assert first.faults == second.faults
+    assert first.faults.faults_injected == 2
+
+
+@pytest.mark.parametrize("sps,serving", COMBOS)
+def test_faults_off_is_byte_identical(sps, serving):
+    base = dict(
+        sps=sps, serving=serving, model="ffnn", ir=100.0, duration=3.0
+    )
+    plain = ExperimentRunner(ExperimentConfig(**base)).run(seed=0)
+    armed = ExperimentRunner(
+        ExperimentConfig(**base, fault_plan=IDLE_PLAN, resilience=RETRY)
+    ).run(seed=0)
+    assert snapshot(plain) == snapshot(armed)
+    assert armed.faults is not None
+    assert armed.faults.faults_injected == 0
+    assert armed.faults.retries == 0
+
+
+def test_engine_recovery_is_deterministic():
+    config = ExperimentConfig(
+        sps="spark_ss",
+        serving="onnx",
+        model="ffnn",
+        ir=100.0,
+        duration=4.0,
+        checkpoint_interval=0.5,
+        failure_times=(2.0,),
+        recovery_time=0.3,
+    )
+    first = ExperimentRunner(config).run(seed=3)
+    second = ExperimentRunner(config).run(seed=3)
+    assert snapshot(first) == snapshot(second)
+    assert first.faults == second.faults

@@ -1,0 +1,147 @@
+"""End-to-end fault injection through the experiment runner."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.runner import run_experiment
+from repro.errors import ConfigError
+from repro.faults import (
+    FaultPlan,
+    NetworkDegradation,
+    PartitionOutage,
+    ResiliencePolicy,
+    ServerCrash,
+    StragglerReplica,
+)
+from repro.faults.injectors import FaultInjector
+from repro.simul import Environment
+
+
+def config(**kw):
+    kw.setdefault("sps", "flink")
+    kw.setdefault("serving", "tf_serving")
+    kw.setdefault("model", "ffnn")
+    kw.setdefault("ir", 100.0)
+    kw.setdefault("duration", 4.0)
+    return ExperimentConfig(**kw)
+
+
+RETRY = ResiliencePolicy(retries=6, backoff_base=0.05, backoff_max=0.5)
+
+
+def test_injector_validation():
+    env = Environment()
+    with pytest.raises(ConfigError):
+        FaultInjector(
+            env,
+            FaultPlan(partition_outages=(PartitionOutage(at=1.0, duration=0.5),)),
+        )  # no cluster
+    with pytest.raises(ConfigError):
+        FaultInjector(
+            env, FaultPlan(server_crashes=(ServerCrash(at=1.0),))
+        )  # no server
+    with pytest.raises(ConfigError):
+        FaultInjector(
+            env,
+            FaultPlan(
+                network_degradations=(
+                    NetworkDegradation(at=1.0, duration=0.5, error_rate=0.1),
+                )
+            ),
+            server=object(),
+        )  # error injection without seeded streams
+
+
+def test_no_faults_means_no_summary():
+    result = run_experiment(config())
+    assert result.faults is None
+
+
+def test_server_crash_sheds_without_retries():
+    plan = FaultPlan(server_crashes=(ServerCrash(at=2.0, downtime=0.3),))
+    baseline = run_experiment(config())
+    crashed = run_experiment(config(fault_plan=plan))
+    assert crashed.faults.server_crashes == 1
+    assert crashed.faults.shed > 0  # default policy drops failed batches
+    assert crashed.throughput < baseline.throughput
+    assert crashed.completed < baseline.completed
+
+
+def test_server_crash_recovers_with_retries():
+    plan = FaultPlan(server_crashes=(ServerCrash(at=2.0, downtime=0.3),))
+    baseline = run_experiment(config())
+    recovered = run_experiment(config(fault_plan=plan, resilience=RETRY))
+    assert recovered.faults.retries > 0
+    assert recovered.faults.shed == 0
+    assert recovered.throughput >= 0.9 * baseline.throughput
+
+
+def test_partition_outage_recovers():
+    plan = FaultPlan(
+        partition_outages=(
+            PartitionOutage(at=1.5, duration=0.5, partitions=tuple(range(4))),
+        )
+    )
+    result = run_experiment(config(sps="kafka_streams", partitions=4, fault_plan=plan))
+    assert result.faults.partition_outages == 1
+    # Blocked partitions buffer, then drain: nothing is lost.
+    assert result.completed == run_experiment(
+        config(sps="kafka_streams", partitions=4)
+    ).completed
+
+
+def test_network_errors_absorbed_by_retries():
+    plan = FaultPlan(
+        network_degradations=(
+            NetworkDegradation(at=1.0, duration=1.0, error_rate=0.5),
+        )
+    )
+    result = run_experiment(config(fault_plan=plan, resilience=RETRY))
+    assert result.faults.network_degradations == 1
+    assert result.faults.retries > 0
+    assert result.faults.shed == 0
+
+
+def test_network_latency_slows_but_completes():
+    plan = FaultPlan(
+        network_degradations=(
+            NetworkDegradation(at=1.0, duration=1.0, extra_latency=0.02),
+        )
+    )
+    baseline = run_experiment(config())
+    slowed = run_experiment(config(fault_plan=plan))
+    assert slowed.faults.network_degradations == 1
+    assert slowed.faults.shed == 0  # latency alone cannot fail a request
+    assert slowed.completed == baseline.completed
+    assert slowed.latency.p99 > baseline.latency.p99
+
+
+def test_straggler_absorbed_by_pool():
+    plan = FaultPlan(
+        stragglers=(StragglerReplica(at=1.0, duration=1.0, slowdown=8.0),)
+    )
+    baseline = run_experiment(config(mp=4))
+    straggled = run_experiment(config(mp=4, fault_plan=plan))
+    assert straggled.faults.stragglers == 1
+    assert straggled.faults.shed == 0
+    assert straggled.completed == baseline.completed
+
+
+def test_fallback_degrades_to_embedded():
+    plan = FaultPlan(server_crashes=(ServerCrash(at=2.0, downtime=0.5),))
+    policy = ResiliencePolicy(
+        retries=1, backoff_base=0.01, on_exhausted="fallback", fallback="onnx"
+    )
+    result = run_experiment(config(fault_plan=plan, resilience=policy))
+    assert result.faults.fallbacks > 0
+    assert result.faults.shed == 0
+
+
+def test_summary_round_trips_to_dict():
+    from repro.core.results_io import result_to_dict
+
+    plan = FaultPlan(server_crashes=(ServerCrash(at=2.0, downtime=0.3),))
+    result = run_experiment(config(fault_plan=plan, resilience=RETRY))
+    payload = result_to_dict(result)
+    assert payload["faults"]["server_crashes"] == 1
+    assert payload["faults"]["retries"] == result.faults.retries

@@ -1,0 +1,204 @@
+"""Unit tests for the client resilience layer (breaker, retries, degrade)."""
+
+import pytest
+
+from repro.errors import TransientError
+from repro.faults import ResiliencePolicy
+from repro.faults.resilience import CircuitBreaker, ResilientScorer
+from repro.simul import Environment, RandomStreams
+from repro.tracing.spans import NO_TRACE
+
+
+class FakeTool:
+    """Scripted serving tool: fails the first ``failures`` calls."""
+
+    kind = "external"
+    name = "fake"
+    costs = None
+    tracer = NO_TRACE
+
+    def __init__(self, env, failures=0, service_time=0.01):
+        self.env = env
+        self.failures = failures
+        self.service_time = service_time
+        self.calls = 0
+        self.requests_served = 0
+        self.loaded = False
+
+    def load(self):
+        self.loaded = True
+        return
+        yield
+
+    def score(self, bsz, vectorized=False, ctx=None):
+        self.calls += 1
+        yield self.env.timeout(self.service_time)
+        if self.calls <= self.failures:
+            raise TransientError("scripted failure")
+        self.requests_served += 1
+        return f"result-{self.calls}"
+
+
+class HangingTool(FakeTool):
+    """Never answers: every call sleeps past any client deadline."""
+
+    def score(self, bsz, vectorized=False, ctx=None):
+        self.calls += 1
+        yield self.env.timeout(1e9)
+        return "never"
+
+
+def drive(env, gen):
+    holder = {}
+
+    def runner():
+        holder["value"] = yield from gen
+
+    env.process(runner())
+    env.run(until=1e6)
+    return holder.get("value")
+
+
+def make_scorer(env, tool, fallback_tool=None, **policy_kw):
+    policy = ResiliencePolicy(**policy_kw)
+    return ResilientScorer(
+        env, tool, policy, rng=RandomStreams(0), fallback=fallback_tool
+    )
+
+
+def test_breaker_trips_and_recovers():
+    env = Environment()
+    breaker = CircuitBreaker(env, threshold=2, reset_after=1.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.opens == 1
+    assert not breaker.allow()  # fast fail while open
+    assert breaker.fast_fails == 1
+    env._now = 1.5  # past the reset window
+    assert breaker.allow()  # half-open probe goes through
+    assert breaker.state == "half_open"
+    assert not breaker.allow()  # only one probe at a time
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_breaker_reopens_on_failed_probe():
+    env = Environment()
+    breaker = CircuitBreaker(env, threshold=1, reset_after=1.0)
+    breaker.record_failure()
+    env._now = 1.0
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state == "open"
+    assert breaker.opens == 2
+
+
+def test_disabled_breaker_always_allows():
+    env = Environment()
+    breaker = CircuitBreaker(env, threshold=None, reset_after=1.0)
+    for __ in range(10):
+        breaker.record_failure()
+        assert breaker.allow()
+    assert breaker.opens == 0
+
+
+def test_retry_until_success():
+    env = Environment()
+    tool = FakeTool(env, failures=2)
+    scorer = make_scorer(env, tool, retries=3, jitter=0.0)
+    result = drive(env, scorer.score(1))
+    assert result == "result-3"
+    assert scorer.retries == 2
+    assert tool.calls == 3
+
+
+def test_exhausted_retries_shed():
+    env = Environment()
+    tool = FakeTool(env, failures=100)
+    scorer = make_scorer(env, tool, retries=2, jitter=0.0)
+    result = drive(env, scorer.score(1))
+    assert result is None
+    assert scorer.shed == 1
+    assert tool.calls == 3  # first attempt + 2 retries
+
+
+def test_exhausted_retries_raise():
+    env = Environment()
+    tool = FakeTool(env, failures=100)
+    scorer = make_scorer(env, tool, retries=0, jitter=0.0, on_exhausted="raise")
+
+    def runner():
+        with pytest.raises(TransientError):
+            yield from scorer.score(1)
+
+    env.process(runner())
+    env.run(until=10.0)
+
+
+def test_fallback_scores_on_secondary():
+    env = Environment()
+    tool = FakeTool(env, failures=100)
+    fallback = FakeTool(env)
+    scorer = make_scorer(
+        env, tool, fallback_tool=fallback,
+        retries=1, jitter=0.0, on_exhausted="fallback", fallback="onnx",
+    )
+    result = drive(env, scorer.score(1))
+    assert result == "result-1"
+    assert fallback.loaded  # loaded lazily on first degrade
+    assert scorer.fallbacks == 1
+    assert scorer.requests_served == 1  # fallback's count is included
+
+
+def test_timeout_abandons_and_retries():
+    env = Environment()
+    tool = HangingTool(env)
+    scorer = make_scorer(env, tool, timeout=0.05, retries=1, jitter=0.0)
+    result = drive(env, scorer.score(1))
+    assert result is None  # both attempts timed out, then shed
+    assert scorer.timeouts == 2
+    assert tool.calls == 2
+
+
+def test_backoff_grows_and_caps():
+    env = Environment()
+    tool = FakeTool(env)
+    scorer = make_scorer(
+        env, tool, retries=5, jitter=0.0,
+        backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3,
+    )
+    delays = [scorer._backoff_delay(attempt) for attempt in (1, 2, 3, 4)]
+    assert delays == [0.1, 0.2, 0.3, 0.3]
+
+
+def test_jitter_is_seeded():
+    env = Environment()
+    a = make_scorer(env, FakeTool(env), retries=1, jitter=0.5)
+    b = make_scorer(Environment(), FakeTool(env), retries=1, jitter=0.5)
+    assert [a._backoff_delay(i) for i in (1, 2, 3)] == [
+        b._backoff_delay(i) for i in (1, 2, 3)
+    ]
+
+
+def test_breaker_open_degrades_immediately():
+    env = Environment()
+    tool = FakeTool(env, failures=100)
+    scorer = make_scorer(
+        env, tool, retries=0, jitter=0.0, breaker_threshold=1,
+    )
+    results = []
+
+    def runner():
+        results.append((yield from scorer.score(1)))  # fails, trips breaker
+        results.append((yield from scorer.score(1)))  # open: fail fast
+
+    env.process(runner())
+    env.run(until=0.1)
+    assert results == [None, None]
+    assert tool.calls == 1  # second score never reached the tool
+    assert scorer.breaker.fast_fails == 1
+    assert scorer.shed == 2

@@ -142,6 +142,48 @@ def test_metrics_command(tmp_path, capsys):
     assert load_metrics_jsonl(str(jsonl_path))
 
 
+def test_chaos_command(capsys):
+    code = main(
+        [
+            "chaos", "--sps", "flink", "--serving", "tf_serving",
+            "--ir", "100", "--duration", "4",
+            "--fault", "server-crash", "--at", "2", "--fault-duration", "0.3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chaos: server-crash @ 2.0s" in out
+    assert "goodput ratio" in out
+    assert "faults injected" in out
+
+
+def test_chaos_engine_crash_command(capsys):
+    code = main(
+        [
+            "chaos", "--sps", "kafka_streams", "--serving", "onnx",
+            "--ir", "100", "--duration", "4",
+            "--fault", "engine-crash", "--at", "2", "--fault-duration", "0.3",
+            "--checkpoint-interval", "0.5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chaos: engine-crash" in out
+    assert "engine restarts / checkpoints" in out
+
+
+def test_chaos_requires_external_serving():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main(
+            [
+                "chaos", "--sps", "flink", "--serving", "onnx",
+                "--fault", "server-crash",
+            ]
+        )
+
+
 def test_invalid_choice_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--sps", "storm"])

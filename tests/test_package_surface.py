@@ -26,6 +26,13 @@ PUBLIC_MODULES = [
     "repro.sps",
     "repro.sps.gateways",
     "repro.sps.flink.fault_tolerance",
+    "repro.faults",
+    "repro.faults.plan",
+    "repro.faults.summary",
+    "repro.faults.resilience",
+    "repro.faults.injectors",
+    "repro.faults.recovery",
+    "repro.faults.report",
     "repro.core",
     "repro.core.runner",
     "repro.core.scenarios",
