@@ -1,0 +1,101 @@
+"""Dual-run determinism verification: run twice, byte-diff everything.
+
+``crayfish verify-determinism`` executes the same ``(config, seed)``
+scenario twice — with tracing and metrics fully on, optionally under the
+runtime sanitizer — and compares the *serialized artifacts* byte for
+byte: the results JSON, the OpenMetrics exposition, the scraped metrics
+timeline, and the Chrome trace export. Comparing exports rather than
+in-memory objects is deliberate: it is exactly the surface a reader of
+the paper's numbers sees, so any ordering or formatting nondeterminism
+that would pollute published results fails the check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import typing
+
+from repro.config import ExperimentConfig, SPS_NAMES
+from repro.core.results_io import result_to_dict
+from repro.core.runner import ExperimentRunner
+from repro.metrics.export import openmetrics_text, timeline_rows
+from repro.tracing.export import chrome_trace
+from repro.analysis.sanitizer import determinism_sanitizer
+
+#: Artifact names, in report order.
+ARTIFACTS = ("results.json", "metrics.txt", "metrics.jsonl", "trace.json")
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineVerdict:
+    """Outcome of the dual-run check for one engine."""
+
+    sps: str
+    identical: bool
+    #: artifact name -> (sha256 of run 1, sha256 of run 2)
+    digests: tuple[tuple[str, str, str], ...]
+
+    @property
+    def mismatched(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, first, second in self.digests if first != second
+        )
+
+
+def run_fingerprints(
+    config: ExperimentConfig, sanitize: bool = True
+) -> dict[str, bytes]:
+    """Execute one fully instrumented run and serialize its artifacts."""
+    guard = determinism_sanitizer() if sanitize else contextlib.nullcontext()
+    with guard:
+        result = ExperimentRunner(config).run(trace=True, metrics=True)
+    timeline = "\n".join(
+        json.dumps(row, sort_keys=True) for row in timeline_rows(result.telemetry.scraper)
+    )
+    return {
+        "results.json": json.dumps(
+            result_to_dict(result), sort_keys=True
+        ).encode(),
+        "metrics.txt": openmetrics_text(result.telemetry.registry).encode(),
+        "metrics.jsonl": timeline.encode(),
+        "trace.json": json.dumps(
+            chrome_trace(result.trace), sort_keys=True
+        ).encode(),
+    }
+
+
+def verify_engine(
+    config: ExperimentConfig, sanitize: bool = True
+) -> EngineVerdict:
+    """Run ``config`` twice and byte-compare every artifact."""
+    first = run_fingerprints(config, sanitize=sanitize)
+    second = run_fingerprints(config, sanitize=sanitize)
+    digests = tuple(
+        (
+            name,
+            hashlib.sha256(first[name]).hexdigest(),
+            hashlib.sha256(second[name]).hexdigest(),
+        )
+        for name in ARTIFACTS
+    )
+    return EngineVerdict(
+        sps=config.sps,
+        identical=all(a == b for __, a, b in digests),
+        digests=digests,
+    )
+
+
+def verify_determinism(
+    base: ExperimentConfig,
+    engines: typing.Sequence[str] = SPS_NAMES,
+    sanitize: bool = True,
+) -> list[EngineVerdict]:
+    """The full gate: dual-run byte-diff for each requested engine."""
+    verdicts = []
+    for sps in engines:
+        config = dataclasses.replace(base, sps=sps)
+        verdicts.append(verify_engine(config, sanitize=sanitize))
+    return verdicts

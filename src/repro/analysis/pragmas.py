@@ -1,0 +1,105 @@
+"""In-source suppression pragmas for the determinism linter.
+
+Syntax (inside a comment, anywhere on the line)::
+
+    # crayfish: allow[rule-name]: why this exception is deliberate
+    # crayfish: allow[rule-a, rule-b]: one reason covering both
+    # crayfish: allow-file[rule-name]: whole-file exception (boundary module)
+
+``allow`` suppresses matching findings on the same line, or — when the
+pragma is a standalone comment — on the next line. ``allow-file``
+suppresses the rule for the whole file; this is how boundary modules
+(CLI, dashboards) are allowlisted. A reason after the ``:`` is
+mandatory: a pragma without one is itself reported, as is a pragma that
+suppresses nothing — the committed suppression inventory must carry a
+justification for every exception.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+import typing
+
+_PRAGMA = re.compile(
+    r"#\s*crayfish:\s*(?P<kind>allow-file|allow)"
+    r"\[(?P<rules>[^\]]*)\]"
+    r"\s*(?::\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    kind: str  # "allow" | "allow-file"
+    rules: tuple[str, ...]
+    reason: str
+    line: int  # 1-indexed line the comment sits on
+    #: Line the pragma applies to ("allow" only): the comment's own line,
+    #: or the next line when the comment stands alone.
+    target_line: int
+    standalone: bool
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule not in self.rules:
+            return False
+        if self.kind == "allow-file":
+            return True
+        return line == self.target_line
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every ``# crayfish:`` pragma from ``source``.
+
+    Uses the tokenizer so pragma-shaped text inside string literals is
+    never mistaken for a real suppression.
+    """
+    pragmas: list[Pragma] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        text = lines[line - 1] if line <= len(lines) else ""
+        standalone = text.strip().startswith("#")
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        pragmas.append(
+            Pragma(
+                kind=match.group("kind"),
+                rules=rules,
+                reason=(match.group("reason") or "").strip(),
+                line=line,
+                target_line=line + 1 if standalone else line,
+                standalone=standalone,
+            )
+        )
+    return pragmas
+
+
+def match_pragma(
+    pragmas: typing.Sequence[Pragma], rule: str, line: int
+) -> Pragma | None:
+    """The first pragma suppressing ``rule`` at ``line``, if any.
+
+    Line-scoped pragmas win over file-scoped ones so the inventory
+    attributes each suppression to the most specific justification.
+    """
+    for pragma in pragmas:
+        if pragma.kind == "allow" and pragma.covers(rule, line):
+            return pragma
+    for pragma in pragmas:
+        if pragma.kind == "allow-file" and pragma.covers(rule, line):
+            return pragma
+    return None

@@ -1,0 +1,100 @@
+"""Lint reporters: human text, machine JSON, and the suppression inventory."""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.analysis.core import FileReport
+
+
+def summarize(reports: typing.Sequence[FileReport]) -> dict:
+    return {
+        "files": len(reports),
+        "findings": sum(len(r.findings) for r in reports),
+        "suppressed": sum(len(r.suppressed) for r in reports),
+    }
+
+
+def render_text(
+    reports: typing.Sequence[FileReport], show_suppressed: bool = False
+) -> str:
+    """One ``path:line:col: rule: message`` line per finding."""
+    lines: list[str] = []
+    for report in reports:
+        for finding in report.findings:
+            lines.append(
+                f"{finding.location()}: {finding.rule}: {finding.message}"
+            )
+        if show_suppressed:
+            for item in report.suppressed:
+                lines.append(
+                    f"{item.finding.location()}: {item.finding.rule}: "
+                    f"suppressed ({item.pragma.reason})"
+                )
+    stats = summarize(reports)
+    lines.append(
+        f"{stats['files']} file(s): {stats['findings']} finding(s), "
+        f"{stats['suppressed']} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(reports: typing.Sequence[FileReport]) -> str:
+    """The full lint outcome as one JSON document."""
+    payload = {
+        "summary": summarize(reports),
+        "findings": [
+            finding.to_dict()
+            for report in reports
+            for finding in report.findings
+        ],
+        "suppressed": [
+            {
+                **item.finding.to_dict(),
+                "reason": item.pragma.reason,
+                "pragma_line": item.pragma.line,
+                "scope": "file" if item.pragma.kind == "allow-file" else "line",
+            }
+            for report in reports
+            for item in report.suppressed
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_suppressions(reports: typing.Sequence[FileReport]) -> str:
+    """The committed inventory: every deliberate exception in one place.
+
+    Grouped by file; one entry per pragma, with the rule(s), scope, and
+    mandatory reason. Pragmas that matched no finding are omitted — the
+    linter reports those as errors separately.
+    """
+    lines = [
+        "# Determinism lint suppressions",
+        "",
+        "Every deliberate exception to `crayfish lint`, with its reason.",
+        "Regenerate with `crayfish lint --list-suppressions src/`.",
+        "",
+    ]
+    total = 0
+    for report in reports:
+        if not report.suppressed:
+            continue
+        lines.append(f"## {report.path}")
+        lines.append("")
+        seen: list[tuple] = []
+        for item in report.suppressed:
+            pragma = item.pragma
+            scope = "file" if pragma.kind == "allow-file" else f"line {item.finding.line}"
+            key = (pragma.line, item.finding.rule, scope)
+            if key in seen:
+                continue
+            seen.append(key)
+            total += 1
+            lines.append(
+                f"- `{item.finding.rule}` ({scope}): {pragma.reason}"
+            )
+        lines.append("")
+    lines.append(f"{total} suppression(s) total.")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Runtime determinism sanitizer: make forbidden calls raise, loudly.
+
+The linter catches what the AST shows; the sanitizer catches what it
+cannot — dynamic dispatch, third-party callbacks, getattr tricks. Inside
+:func:`determinism_sanitizer`, every wall-clock and global-RNG entry
+point is monkeypatched to raise :class:`DeterminismViolation`, so a
+simulated run that sneaks a ``time.time()`` or ``random.random()`` call
+fails immediately at the offending frame instead of silently producing
+irreproducible numbers.
+
+The patch set mirrors the static rules: ``time.*`` clock/sleep
+functions, the stdlib ``random`` module-level API (the hidden global
+``Random`` instance), numpy's legacy global ``np.random.*`` draws, and
+unseeded ``np.random.default_rng()`` (seeded calls pass through — an
+explicit seed is exactly what determinism requires).
+
+Patch targets are looked up by name with ``getattr`` so this module
+never references a forbidden function directly — the sanitizer itself
+lints clean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import time
+import typing
+
+import numpy as np
+
+
+class DeterminismViolation(RuntimeError):
+    """A forbidden nondeterministic entry point was called during a run."""
+
+
+_TIME_NAMES = (
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "sleep",
+)
+
+_RANDOM_NAMES = (
+    "seed",
+    "random",
+    "uniform",
+    "randint",
+    "randrange",
+    "getrandbits",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "triangular",
+)
+
+_NP_RANDOM_NAMES = (
+    "seed",
+    "random",
+    "rand",
+    "randn",
+    "randint",
+    "random_sample",
+    "ranf",
+    "sample",
+    "bytes",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "lognormal",
+    "exponential",
+    "poisson",
+    "binomial",
+    "get_state",
+    "set_state",
+)
+
+
+def _raiser(qualname: str) -> typing.Callable:
+    def forbidden(*args: object, **kwargs: object) -> typing.NoReturn:
+        raise DeterminismViolation(
+            f"{qualname}() called during a sanitized run: results would "
+            "not be a pure function of (config, seed). Route timing "
+            "through Environment.now and randomness through "
+            "repro.simul.rng.RandomStreams."
+        )
+
+    forbidden.__name__ = qualname.rsplit(".", 1)[-1]
+    return forbidden
+
+
+def _guarded_default_rng(
+    original: typing.Callable,
+) -> typing.Callable:
+    def default_rng(*args: object, **kwargs: object) -> object:
+        if not args and not kwargs:
+            raise DeterminismViolation(
+                "np.random.default_rng() without a seed draws OS entropy; "
+                "pass an explicit seed or use RandomStreams"
+            )
+        return original(*args, **kwargs)
+
+    return default_rng
+
+
+@contextlib.contextmanager
+def determinism_sanitizer() -> typing.Iterator[None]:
+    """Context manager: forbidden entry points raise inside the block.
+
+    Patches are process-global while active (that is the point: they
+    catch calls from *anywhere* in the run) and restored on exit, even
+    when the block raises.
+    """
+    saved: list[tuple[object, str, object]] = []
+
+    def patch(module: object, name: str, replacement: object) -> None:
+        saved.append((module, name, getattr(module, name)))
+        setattr(module, name, replacement)
+
+    try:
+        for name in _TIME_NAMES:
+            patch(time, name, _raiser(f"time.{name}"))
+        for name in _RANDOM_NAMES:
+            patch(random, name, _raiser(f"random.{name}"))
+        for name in _NP_RANDOM_NAMES:
+            patch(np.random, name, _raiser(f"np.random.{name}"))
+        patch(
+            np.random,
+            "default_rng",
+            # crayfish: allow[global-random]: the sanitizer itself wraps default_rng to reject unseeded calls
+            _guarded_default_rng(np.random.default_rng),
+        )
+        yield
+    finally:
+        for module, name, original in reversed(saved):
+            setattr(module, name, original)

@@ -105,7 +105,13 @@ def _maybe_dump(args: argparse.Namespace, results) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from(args, ir=args.ir)
-    result = run_experiment(config)
+    if args.sanitize:
+        from repro.analysis.sanitizer import determinism_sanitizer
+
+        with determinism_sanitizer():
+            result = run_experiment(config)
+    else:
+        result = run_experiment(config)
     rows = [
         ("throughput (events/s)", format_rate(result.throughput)),
         ("mean latency (ms)", format_ms(result.latency.mean)),
@@ -363,6 +369,78 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.core import lint_paths, make_rules
+    from repro.analysis.report import (
+        render_json,
+        render_suppressions,
+        render_text,
+    )
+
+    if args.rules:
+        for rule in make_rules():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+    only = args.only.split(",") if args.only else None
+    try:
+        reports = lint_paths(args.paths, rules=make_rules(only))
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.list_suppressions:
+        print(render_suppressions(reports))
+        return 0
+    if args.format == "json":
+        print(render_json(reports))
+    else:
+        print(render_text(reports, show_suppressed=args.show_suppressed))
+    return 0 if all(r.clean for r in reports) else 1
+
+
+def _cmd_verify_determinism(args: argparse.Namespace) -> int:
+    from repro.analysis.determinism import verify_determinism
+
+    config = ExperimentConfig(
+        sps=SPS_NAMES[0],
+        serving=args.serving,
+        model=args.model,
+        bsz=args.bsz,
+        mp=args.mp,
+        seed=args.seed,
+        duration=args.duration,
+        ir=args.ir,
+    )
+    engines = SPS_NAMES if args.sps == "all" else (args.sps,)
+    verdicts = verify_determinism(
+        config, engines=engines, sanitize=not args.no_sanitize
+    )
+    rows = []
+    for verdict in verdicts:
+        if verdict.identical:
+            digest = verdict.digests[0][1][:12]
+            rows.append((verdict.sps, "byte-identical", digest))
+        else:
+            rows.append(
+                (verdict.sps, "MISMATCH", ", ".join(verdict.mismatched))
+            )
+    print(
+        format_table(
+            ["engine", "dual-run verdict", "results sha256 / diffs"],
+            rows,
+            title=(
+                f"verify-determinism: {args.serving}/{args.model} "
+                f"ir={args.ir} duration={args.duration}s seed={args.seed}"
+            ),
+        )
+    )
+    failed = [v.sps for v in verdicts if not v.identical]
+    if failed:
+        print(f"NONDETERMINISM DETECTED in: {', '.join(failed)}")
+        return 1
+    print(f"all {len(verdicts)} engine(s) reproduce byte-identically")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print(format_table(["kind", "names"], [
         ("stream processors", ", ".join(SPS_NAMES)),
@@ -383,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd = commands.add_parser("run", help="one open-loop experiment")
     _add_sut_args(run_cmd)
     run_cmd.add_argument("--ir", type=float, default=None, help="input rate; omit to saturate")
+    run_cmd.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the determinism sanitizer: wall-clock and "
+        "global-RNG calls raise instead of corrupting results",
+    )
     run_cmd.set_defaults(func=_cmd_run)
 
     sweep_cmd = commands.add_parser("sweep", help="sweep one config field")
@@ -504,6 +587,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop the client resilience layer (failed scores are shed)",
     )
     chaos_cmd.set_defaults(func=_cmd_chaos)
+
+    lint_cmd = commands.add_parser(
+        "lint", help="determinism & simulation-safety linter"
+    )
+    lint_cmd.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_cmd.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report format",
+    )
+    lint_cmd.add_argument(
+        "--only", default=None,
+        help="comma-separated subset of rules to run",
+    )
+    lint_cmd.add_argument(
+        "--show-suppressed", action="store_true", dest="show_suppressed",
+        help="also list findings silenced by pragmas",
+    )
+    lint_cmd.add_argument(
+        "--list-suppressions", action="store_true", dest="list_suppressions",
+        help="print the suppression inventory instead of findings",
+    )
+    lint_cmd.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint_cmd.set_defaults(func=_cmd_lint)
+
+    verify_cmd = commands.add_parser(
+        "verify-determinism",
+        help="run the same scenario twice per engine and byte-diff "
+        "results/metrics/trace exports",
+    )
+    verify_cmd.add_argument(
+        "--sps", default="all", choices=SPS_NAMES + ("all",),
+        help="engine to check, or all four",
+    )
+    verify_cmd.add_argument("--serving", default="onnx", choices=SERVING_TOOLS)
+    verify_cmd.add_argument("--model", default="ffnn", choices=MODEL_NAMES)
+    verify_cmd.add_argument("--bsz", type=int, default=1)
+    verify_cmd.add_argument("--mp", type=int, default=1)
+    verify_cmd.add_argument("--seed", type=int, default=0)
+    verify_cmd.add_argument(
+        "--ir", type=float, default=50.0, help="input rate (events/s)"
+    )
+    verify_cmd.add_argument(
+        "--duration", type=float, default=2.0, help="simulated seconds"
+    )
+    verify_cmd.add_argument(
+        "--no-sanitize", action="store_true", dest="no_sanitize",
+        help="skip the runtime sanitizer during the paired runs",
+    )
+    verify_cmd.set_defaults(func=_cmd_verify_determinism)
 
     list_cmd = commands.add_parser("list", help="registered components")
     list_cmd.set_defaults(func=_cmd_list)

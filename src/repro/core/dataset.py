@@ -59,6 +59,7 @@ class Dataset:
         generator, materialized)."""
         if points < 1:
             raise ConfigError(f"points must be >= 1, got {points}")
+        # crayfish: allow[global-random]: dataset materialization is seeded by an explicit config seed and happens before any simulation runs
         rng = np.random.default_rng(seed)
         data = rng.random((points, *point_shape), dtype=np.float32)
         labels = rng.integers(0, classes, size=points)

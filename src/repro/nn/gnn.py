@@ -133,6 +133,7 @@ class GcnModel(Model):
         return total
 
     def initialize(self, seed: int = 0) -> "GcnModel":
+        # crayfish: allow[global-random]: construction-time weight init, explicitly seeded by the caller; no simulation stream exists yet
         rng = np.random.default_rng(seed)
         for layer in self.layers:
             layer.initialize(rng)

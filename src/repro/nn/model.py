@@ -122,6 +122,7 @@ class Sequential(Model):
 
     def initialize(self, seed: int = 0) -> "Sequential":
         """Materialize all weights deterministically from ``seed``."""
+        # crayfish: allow[global-random]: construction-time weight init, explicitly seeded by the caller; no simulation stream exists yet
         rng = np.random.default_rng(seed)
         for layer in self.layers:
             layer.initialize(rng)

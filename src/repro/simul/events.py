@@ -73,7 +73,15 @@ class Event:
         return self
 
     def __repr__(self) -> str:
-        return f"<{type(self).__name__} at {hex(id(self))}>"
+        # Address-free on purpose: reprs reach logs and trace diffs, and
+        # id()-derived text differs between otherwise identical runs.
+        if self._value is PENDING:
+            state = "pending"
+        elif self.callbacks is None:
+            state = "processed ok" if self._ok else "processed failed"
+        else:
+            state = "triggered ok" if self._ok else "triggered failed"
+        return f"<{type(self).__name__} {state}>"
 
 
 class Timeout(Event):

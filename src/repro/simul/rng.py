@@ -7,6 +7,8 @@ variance-reduction discipline for simulation studies.
 
 from __future__ import annotations
 
+# crayfish: allow-file[global-random]: this module IS the sanctioned randomness root every other component must route through
+
 import zlib
 
 import numpy as np

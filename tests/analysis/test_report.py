@@ -1,0 +1,68 @@
+"""Reporter output: text, JSON, and the suppression inventory."""
+
+import json
+import textwrap
+
+from repro.analysis.core import lint_source
+from repro.analysis.report import (
+    render_json,
+    render_suppressions,
+    render_text,
+    summarize,
+)
+
+DIRTY = textwrap.dedent("""
+    import time
+
+    def f():
+        return time.time()
+
+    def g():
+        return hash("name")  # crayfish: allow[hash-randomization]: legacy key kept for artifact compatibility
+""")
+
+
+def reports():
+    return [lint_source(DIRTY, path="pkg/mod.py")]
+
+
+def test_render_text_lists_findings_and_summary():
+    text = render_text(reports())
+    assert "pkg/mod.py:5:11: wall-clock:" in text
+    assert "1 file(s): 1 finding(s), 1 suppressed" in text
+    # Suppressed findings stay hidden unless asked for.
+    assert "hash-randomization" not in text
+
+
+def test_render_text_show_suppressed():
+    text = render_text(reports(), show_suppressed=True)
+    assert "suppressed (legacy key kept for artifact compatibility)" in text
+
+
+def test_render_json_round_trips():
+    payload = json.loads(render_json(reports()))
+    assert payload["summary"] == {"files": 1, "findings": 1, "suppressed": 1}
+    finding = payload["findings"][0]
+    assert finding["rule"] == "wall-clock"
+    assert finding["path"] == "pkg/mod.py"
+    assert finding["line"] == 5
+    suppressed = payload["suppressed"][0]
+    assert suppressed["rule"] == "hash-randomization"
+    assert suppressed["reason"] == (
+        "legacy key kept for artifact compatibility"
+    )
+    assert suppressed["scope"] == "line"
+
+
+def test_render_suppressions_inventory():
+    text = render_suppressions(reports())
+    assert "## pkg/mod.py" in text
+    assert "`hash-randomization` (line 8)" in text
+    assert "legacy key kept for artifact compatibility" in text
+    assert "1 suppression(s) total." in text
+
+
+def test_summarize_counts_multiple_files():
+    clean = lint_source("x = 1\n", path="clean.py")
+    stats = summarize([clean] + reports())
+    assert stats == {"files": 2, "findings": 1, "suppressed": 1}

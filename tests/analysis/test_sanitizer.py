@@ -1,0 +1,101 @@
+"""Runtime sanitizer: forbidden entry points raise, cleanly restored."""
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import DeterminismViolation, determinism_sanitizer
+from repro.config import ExperimentConfig
+from repro.core.runner import ExperimentRunner
+
+
+def test_wall_clock_raises_inside():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation, match="time.time"):
+            time.time()
+        with pytest.raises(DeterminismViolation, match="perf_counter"):
+            time.perf_counter()
+        with pytest.raises(DeterminismViolation, match="sleep"):
+            time.sleep(0.001)
+
+
+def test_global_random_raises_inside():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation, match="random.random"):
+            random.random()
+        with pytest.raises(DeterminismViolation, match="random.seed"):
+            random.seed(1)
+        with pytest.raises(DeterminismViolation, match="np.random.seed"):
+            np.random.seed(1)
+        with pytest.raises(DeterminismViolation, match="np.random.uniform"):
+            np.random.uniform()
+
+
+def test_unseeded_default_rng_raises_seeded_passes():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation, match="OS entropy"):
+            np.random.default_rng()
+        generator = np.random.default_rng(7)
+        assert 0.0 <= generator.random() < 1.0
+
+
+def test_everything_restored_after_exit():
+    before = (time.time, time.sleep, random.random, np.random.default_rng)
+    with determinism_sanitizer():
+        pass
+    after = (time.time, time.sleep, random.random, np.random.default_rng)
+    assert before == after
+    assert time.time() > 0  # callable again
+
+
+def test_restored_even_when_body_raises():
+    with pytest.raises(RuntimeError, match="boom"):
+        with determinism_sanitizer():
+            raise RuntimeError("boom")
+    assert time.time() > 0
+
+
+def test_violation_message_names_the_remedies():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation) as info:
+            time.monotonic()
+    assert "Environment.now" in str(info.value)
+    assert "RandomStreams" in str(info.value)
+
+
+def test_injected_wall_clock_call_fails_a_sanitized_run():
+    """The acceptance case: a time.time() smuggled into the hot path of a
+    real experiment raises under the sanitizer instead of silently
+    corrupting reproducibility."""
+    config = ExperimentConfig(
+        sps="flink", serving="onnx", model="ffnn", ir=50.0, duration=1.0
+    )
+    runner = ExperimentRunner(config)
+    original = runner._schedule
+
+    def schedule_with_wall_clock():
+        time.time()  # the injected nondeterminism
+        return original()
+
+    runner._schedule = schedule_with_wall_clock
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation, match="time.time"):
+            runner.run()
+    # An untampered runner completes under the sanitizer.
+    result = ExperimentRunner(config).run()
+    assert result.completed > 0
+
+
+def test_sanitized_run_matches_unsanitized_run():
+    """The sanitizer is pure guard rails: it never changes results."""
+    config = ExperimentConfig(
+        sps="kafka_streams", serving="onnx", model="ffnn", ir=50.0, duration=1.0
+    )
+    plain = ExperimentRunner(config).run()
+    with determinism_sanitizer():
+        guarded = ExperimentRunner(config).run()
+    assert guarded.throughput == plain.throughput
+    assert guarded.latency == plain.latency
+    assert guarded.series == plain.series

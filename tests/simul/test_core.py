@@ -212,3 +212,35 @@ def test_event_value_before_trigger_rejected():
     event = env.event()
     with pytest.raises(SimulationError):
         __ = event.value
+
+
+def test_event_repr_is_stable_and_address_free():
+    # Regression: the repr used to embed hex(id(self)), which differs
+    # between otherwise identical runs and polluted logs and trace diffs.
+    env = Environment()
+    first, second = env.event(), env.event()
+    assert repr(first) == repr(second) == "<Event pending>"
+    assert "0x" not in repr(first)
+
+    first.succeed("payload")
+    assert repr(first) == "<Event triggered ok>"
+    env.run()
+    assert repr(first) == "<Event processed ok>"
+
+    failed = env.event()
+    failed.fail(ValueError("boom"))
+    assert repr(failed) == "<Event triggered failed>"
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_process_repr_uses_subclass_name():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+
+    process = env.process(proc())
+    assert repr(process) == "<Process pending>"
+    env.run()
+    assert repr(process) == "<Process processed ok>"

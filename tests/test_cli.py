@@ -192,3 +192,77 @@ def test_invalid_choice_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_lint_command_clean_tree(capsys):
+    code = main(["lint", "src"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_lint_command_finds_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    code = main(["lint", str(bad)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "wall-clock" in out
+    assert "1 finding(s)" in out
+
+
+def test_lint_command_json_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    code = main(["lint", str(bad), "--format", "json"])
+    assert code == 1
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["findings"] == 1
+    assert payload["findings"][0]["rule"] == "mutable-default"
+
+
+def test_lint_command_only_subset(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\nh = hash('x')\n")
+    code = main(["lint", str(bad), "--only", "hash-randomization"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "hash-randomization" in out
+    assert "wall-clock" not in out
+
+
+def test_lint_command_rule_catalogue(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("wall-clock", "global-random", "silent-except"):
+        assert rule in out
+
+
+def test_lint_command_list_suppressions(capsys):
+    code = main(["lint", "src", "--list-suppressions"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "# Determinism lint suppressions" in out
+    assert "src/repro/simul/rng.py" in out
+
+
+def test_lint_command_missing_path(capsys):
+    assert main(["lint", "no/such/dir"]) == 2
+
+
+def test_verify_determinism_command(capsys):
+    code = main(
+        ["verify-determinism", "--sps", "flink", "--ir", "60", "--duration", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "byte-identical" in out
+    assert "reproduce byte-identically" in out
+
+
+def test_run_command_sanitized(capsys):
+    code = main(["run", "--duration", "1", "--ir", "50", "--sanitize"])
+    assert code == 0
+    assert "throughput" in capsys.readouterr().out

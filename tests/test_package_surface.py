@@ -42,6 +42,13 @@ PUBLIC_MODULES = [
     "repro.core.validation",
     "repro.core.probe",
     "repro.core.ascii_chart",
+    "repro.analysis",
+    "repro.analysis.core",
+    "repro.analysis.pragmas",
+    "repro.analysis.rules",
+    "repro.analysis.report",
+    "repro.analysis.sanitizer",
+    "repro.analysis.determinism",
     "repro.cli",
 ]
 
