@@ -9,10 +9,26 @@ import typing
 
 from repro.config import ExperimentConfig
 from repro.core.report import format_table
-from repro.core.runner import ExperimentRunner
+from repro.core.runner import ExperimentRunner  # noqa: F401 - re-export
+from repro.matrix import ResultCache, run_replicated_cached
 
 #: Seeds for the paper's run-everything-twice protocol.
 SEEDS = (0, 1)
+
+#: Opt-in knobs for the benchmark suite: CRAYFISH_BENCH_CACHE points the
+#: matrix result cache at a directory (re-running the paper tables then
+#: only executes changed points); CRAYFISH_BENCH_JOBS fans replicas out
+#: over worker processes. Defaults reproduce the serial uncached runs.
+_BENCH_CACHE_DIR = os.environ.get("CRAYFISH_BENCH_CACHE")
+_BENCH_JOBS = int(os.environ.get("CRAYFISH_BENCH_JOBS", "1"))
+_BENCH_CACHE = ResultCache(_BENCH_CACHE_DIR) if _BENCH_CACHE_DIR else None
+
+
+def replicated(config: ExperimentConfig, seeds=SEEDS):
+    """Replicated results via the matrix engine (parallel/cached aware)."""
+    return run_replicated_cached(
+        config, seeds, jobs=_BENCH_JOBS, cache=_BENCH_CACHE
+    )
 
 #: The compiled-telemetry baseline the metrics benchmark maintains.
 BENCH_METRICS_PATH = os.path.join(
@@ -27,14 +43,14 @@ def mean_std(values: typing.Sequence[float]) -> tuple[float, float]:
 
 def throughput(config: ExperimentConfig, seeds=SEEDS) -> tuple[float, float]:
     """Mean/std sustainable throughput across seeds (open loop, saturated)."""
-    runner = ExperimentRunner(config.replace(ir=None))
-    return mean_std([runner.run(seed=s).throughput for s in seeds])
+    results = replicated(config.replace(ir=None), seeds)
+    return mean_std([r.throughput for r in results])
 
 
 def mean_latency(config: ExperimentConfig, seeds=SEEDS) -> tuple[float, float]:
     """Mean/std of mean end-to-end latency across seeds."""
-    runner = ExperimentRunner(config)
-    return mean_std([runner.run(seed=s).latency.mean for s in seeds])
+    results = replicated(config, seeds)
+    return mean_std([r.latency.mean for r in results])
 
 
 def table(title: str, headers, rows) -> str:

@@ -123,8 +123,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_matrix_exec_args(parser: argparse.ArgumentParser) -> None:
+    """Worker-pool and result-cache knobs shared by sweep/matrix."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to fan grid points x seeds across",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".crayfish-cache", dest="cache_dir",
+        help="content-addressed result cache directory",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", dest="no_cache",
+        help="bypass the result cache entirely",
+    )
+
+
+def _open_cache(args: argparse.Namespace):
+    """The result cache selected by ``--cache-dir`` / ``--no-cache``."""
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir", None):
+        return None
+    from repro.matrix import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweep import sweep
+    from repro.errors import ConfigError
 
     base = _config_from(args, ir=args.ir)
     values = [int(v) for v in args.values.split(",")]
@@ -139,12 +165,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         )
 
-    points = sweep(
-        base,
-        grid={args.field: values},
-        seeds=(args.seed, args.seed + 1),
-        hook=progress,
-    )
+    cache = _open_cache(args)
+    try:
+        points = sweep(
+            base,
+            grid={args.field: values},
+            seeds=(args.seed, args.seed + 1),
+            hook=progress,
+            jobs=args.jobs,
+            cache=cache,
+        )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(
         format_table(
             [args.field, "events/s", "mean latency (ms)"],
@@ -152,7 +185,97 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"{base.label()} sweep over {args.field}",
         )
     )
+    if cache is not None:
+        print(f"cache {args.cache_dir}: {cache.stats.summary()}")
     _maybe_dump(args, [r for point in points for r in point.results])
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.core.results_io import save_records_jsonl, save_results_csv
+    from repro.errors import ConfigError
+    from repro.matrix import (
+        format_matrix_table,
+        grid_points,
+        preset,
+        preset_names,
+        run_matrix,
+    )
+
+    if args.list_presets:
+        for name in preset_names():
+            spec = preset(name)
+            print(
+                f"{name}: {spec.description} "
+                f"[{spec.task_count} tasks, seeds {spec.seeds}]"
+            )
+        return 0
+    spec = preset(args.preset)
+    base = spec.base
+    if args.duration is not None:
+        base = base.replace(duration=args.duration)
+    seeds = (
+        spec.seeds
+        if args.seeds is None
+        else tuple(int(s) for s in args.seeds.split(","))
+    )
+    cache = _open_cache(args)
+    total = len(grid_points(spec.grid))
+    emitted = []
+
+    def progress(overrides, results):
+        emitted.append(overrides)
+        label = (
+            " ".join(f"{key}={overrides[key]}" for key in sorted(overrides))
+            or base.label()
+        )
+        throughput = sum(r.throughput for r in results) / len(results)
+        latency = sum(r.latency.mean for r in results) / len(results)
+        print(
+            f"  [{len(emitted)}/{total}] {label}: "
+            f"{format_rate(throughput)} events/s, "
+            f"{format_ms(latency)} ms mean latency"
+        )
+
+    try:
+        report = run_matrix(
+            base,
+            spec.grid,
+            seeds=seeds,
+            jobs=args.jobs,
+            cache=cache,
+            hook=progress,
+        )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(
+        format_matrix_table(
+            report, spec.grid, title=f"matrix preset {spec.name!r}"
+        )
+    )
+    from_cache = report.tasks - report.executed
+    print(
+        f"tasks: {report.tasks} total, {report.executed} executed, "
+        f"{from_cache} from cache (jobs={args.jobs})"
+    )
+    if cache is not None:
+        print(
+            f"cache {args.cache_dir}: {cache.stats.summary()} "
+            f"[code fingerprint {cache.fingerprint}]"
+        )
+    _export_artifact(
+        args.jsonl,
+        lambda p: save_records_jsonl(report.records, p),
+        "result records JSONL",
+    )
+    _export_artifact(
+        args.csv,
+        lambda p: save_results_csv(report.results, p),
+        "result CSV",
+    )
+    _maybe_dump(args, report.results)
     return 0
 
 
@@ -475,7 +598,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument(
         "--values", default="1,2,4,8,16", help="comma-separated integer values"
     )
+    _add_matrix_exec_args(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    matrix_cmd = commands.add_parser(
+        "matrix",
+        help="run a full experiment matrix: parallel workers + result cache",
+    )
+    matrix_cmd.add_argument(
+        "--preset", default="smoke",
+        choices=("latency", "throughput", "scalability", "burst-recovery", "smoke"),
+        help="paper grid to reproduce",
+    )
+    matrix_cmd.add_argument(
+        "--list", action="store_true", dest="list_presets",
+        help="describe the available presets and exit",
+    )
+    matrix_cmd.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seed list overriding the preset's seeds",
+    )
+    matrix_cmd.add_argument(
+        "--duration", type=float, default=None,
+        help="override the preset's simulated duration (seconds)",
+    )
+    matrix_cmd.add_argument(
+        "--jsonl", default=None,
+        help="write full result records as JSON Lines to this path",
+    )
+    matrix_cmd.add_argument(
+        "--csv", default=None, help="write a flat result CSV to this path"
+    )
+    matrix_cmd.add_argument(
+        "--json", default=None, dest="json_path",
+        help="also write the result(s) as JSON to this path",
+    )
+    _add_matrix_exec_args(matrix_cmd)
+    matrix_cmd.set_defaults(func=_cmd_matrix)
 
     lat_cmd = commands.add_parser("latency", help="closed-loop latency")
     _add_sut_args(lat_cmd)

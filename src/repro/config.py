@@ -10,10 +10,17 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import json
 import typing
 
 from repro.errors import ConfigError
 from repro.faults import FaultPlan, ResiliencePolicy
+from repro.faults.plan import (
+    NetworkDegradation,
+    PartitionOutage,
+    ServerCrash,
+    StragglerReplica,
+)
 
 
 class WorkloadKind(enum.Enum):
@@ -302,3 +309,85 @@ class ExperimentConfig:
         """Short human-readable identifier, e.g. ``flink/onnx/ffnn``."""
         suffix = "-gpu" if self.gpu else ""
         return f"{self.sps}/{self.serving}{suffix}/{self.model}"
+
+    def canonical_dict(self) -> dict:
+        """A JSON-ready dict where canonically-equal configs are equal.
+
+        Enums collapse to their values and every sequence becomes a
+        plain list, so a config built with ``isz=[4]`` and one built
+        with ``isz=(4,)`` canonicalize identically. This is the basis of
+        the content-addressed result cache (:mod:`repro.matrix.cache`).
+        """
+        return _canonical_value(dataclasses.asdict(self))
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization: sorted keys, no whitespace."""
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+
+def _canonical_value(value: typing.Any) -> typing.Any:
+    """Normalize a config value tree for hashing/serialization."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {key: _canonical_value(v) for key, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    return value
+
+
+#: Config fields whose values are tuples (JSON round-trips them as lists).
+_TUPLE_FIELDS = (
+    "isz",
+    "operator_parallelism",
+    "autoscale",
+    "adaptive_batching",
+    "failure_times",
+)
+
+
+def _fault_plan_from_dict(record: dict) -> FaultPlan:
+    return FaultPlan(
+        server_crashes=tuple(
+            ServerCrash(**crash) for crash in record.get("server_crashes", ())
+        ),
+        partition_outages=tuple(
+            PartitionOutage(**outage)
+            for outage in record.get("partition_outages", ())
+        ),
+        network_degradations=tuple(
+            NetworkDegradation(**degradation)
+            for degradation in record.get("network_degradations", ())
+        ),
+        stragglers=tuple(
+            StragglerReplica(**straggler)
+            for straggler in record.get("stragglers", ())
+        ),
+    )
+
+
+def config_from_dict(record: dict) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from its serialized dict.
+
+    Inverse of :meth:`ExperimentConfig.canonical_dict` (and of the
+    ``config`` block written by :mod:`repro.core.results_io`): restores
+    the workload enum, tuple-valued fields, and nested fault-plan /
+    resilience dataclasses. Validation re-runs on construction.
+    """
+    data = dict(record)
+    unknown = sorted(
+        set(data) - {field.name for field in dataclasses.fields(ExperimentConfig)}
+    )
+    if unknown:
+        raise ConfigError(f"unknown config field(s) in record: {unknown}")
+    data["workload"] = WorkloadKind(data["workload"])
+    for name in _TUPLE_FIELDS:
+        if data.get(name) is not None:
+            data[name] = tuple(data[name])
+    if data.get("fault_plan") is not None:
+        data["fault_plan"] = _fault_plan_from_dict(data["fault_plan"])
+    if data.get("resilience") is not None:
+        data["resilience"] = ResiliencePolicy(**data["resilience"])
+    return ExperimentConfig(**data)

@@ -446,11 +446,24 @@ def run_experiment(config: ExperimentConfig, seed: int | None = None) -> Experim
 
 
 def run_replicated(
-    config: ExperimentConfig, seeds: typing.Sequence[int] = (0, 1)
+    config: ExperimentConfig,
+    seeds: typing.Sequence[int] = (0, 1),
+    jobs: int = 1,
+    cache: typing.Any = None,
 ) -> list[ExperimentResult]:
     """The paper's protocol: run each experiment twice and report
-    averages and standard deviations (§4.2)."""
+    averages and standard deviations (§4.2).
+
+    ``jobs`` > 1 replicates across worker processes, and ``cache`` (a
+    :class:`repro.matrix.cache.ResultCache`) replays seeds that already
+    ran — both through :mod:`repro.matrix.engine`, which guarantees
+    results identical to the plain in-process loop.
+    """
     if not seeds:
         raise ConfigError("need at least one seed")
+    if jobs != 1 or cache is not None:
+        from repro.matrix.engine import run_replicated_cached
+
+        return run_replicated_cached(config, seeds, jobs=jobs, cache=cache)
     runner = ExperimentRunner(config)
     return [runner.run(seed=seed) for seed in seeds]

@@ -1,14 +1,22 @@
-"""Parameter sweeps: run grids of configurations with replication."""
+"""Parameter sweeps: run grids of configurations with replication.
+
+:func:`sweep` is the stable front door; since PR 5 it delegates to the
+parallel experiment-matrix engine (:mod:`repro.matrix.engine`), so
+callers can opt into worker processes (``jobs``) and the
+content-addressed result cache (``cache``) without changing shape:
+ordering, aggregates, and hook sequence are byte-identical to the old
+serial implementation.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-import itertools
 import typing
 
 from repro.config import ExperimentConfig
 from repro.core.analyzer import Aggregate
-from repro.core.runner import ExperimentResult, ExperimentRunner
+from repro.core.runner import ExperimentResult
+from repro.errors import ConfigError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -27,29 +35,49 @@ class SweepPoint:
         return Aggregate.of([r.latency.mean for r in self.results])
 
 
+def validate_override_fields(names: typing.Iterable[str]) -> None:
+    """Reject grid/override keys that are not ExperimentConfig fields.
+
+    Catches typos like ``{"batch_size": [...]}`` up front with a message
+    naming both the offender and the valid field set — previously an
+    unknown key surfaced only deep inside ``dataclasses.replace`` as an
+    unexpected-keyword TypeError.
+    """
+    valid = {field.name for field in dataclasses.fields(ExperimentConfig)}
+    unknown = sorted(set(names) - valid)
+    if unknown:
+        listed = ", ".join(repr(name) for name in unknown)
+        raise ConfigError(
+            f"unknown sweep field(s) {listed}; valid ExperimentConfig "
+            f"fields are: {', '.join(sorted(valid))}"
+        )
+
+
 def sweep(
     base: ExperimentConfig,
     grid: dict[str, typing.Sequence],
     seeds: typing.Sequence[int] = (0, 1),
     hook: typing.Callable[[dict, typing.Sequence[ExperimentResult]], None] | None = None,
+    jobs: int = 1,
+    cache: typing.Any = None,
 ) -> list[SweepPoint]:
     """Run the cartesian product of ``grid`` over ``base``.
 
-    ``grid`` maps ExperimentConfig field names to value lists. Each point
-    is replicated over ``seeds`` (the paper runs everything twice).
-    ``hook`` is called after each point, e.g. for progress printing.
+    ``grid`` maps ExperimentConfig field names to value lists (names are
+    validated up front). Each point is replicated over ``seeds`` (the
+    paper runs everything twice). ``hook`` is called after each point in
+    grid order, e.g. for progress printing.
+
+    ``jobs`` > 1 fans the points × seeds out over worker processes;
+    ``cache`` (a :class:`repro.matrix.cache.ResultCache`) replays
+    already-computed points instead of re-executing them. Both leave the
+    returned points identical to a serial, uncached run.
     """
     if not grid:
         raise ValueError("empty sweep grid")
-    points = []
-    keys = sorted(grid)
-    for values in itertools.product(*(grid[k] for k in keys)):
-        overrides = dict(zip(keys, values))
-        config = base.replace(**overrides)
-        runner = ExperimentRunner(config)
-        results = tuple(runner.run(seed=seed) for seed in seeds)
-        point = SweepPoint(overrides=overrides, results=results)
-        points.append(point)
-        if hook is not None:
-            hook(overrides, results)
-    return points
+    from repro.matrix.engine import run_matrix
+
+    report = run_matrix(
+        base, grid, seeds=seeds, jobs=jobs, cache=cache, hook=hook
+    )
+    return report.points

@@ -1,0 +1,162 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Each (config, seed) pair owns one *slot* file named by the digest of the
+canonical config serialization plus the run seed. Inside the slot sits
+the full result record together with the cache *key* — the same digest
+extended with the code fingerprint (:mod:`repro.matrix.fingerprint`).
+
+A lookup therefore distinguishes three outcomes:
+
+- **hit** — slot exists and its key matches: the stored record was
+  produced by identical code for an identical experiment; replay it.
+- **invalidation** — slot exists but the key differs: the code changed
+  since the record was stored. The entry is stale; the caller re-runs
+  and the store overwrites the slot in place.
+- **miss** — no slot: never ran (or a different config/seed).
+
+Writes go through a temp file + ``os.replace`` so an interrupted sweep
+never leaves a half-written record — resuming is just re-running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+
+from repro.config import ExperimentConfig
+from repro.matrix.fingerprint import code_fingerprint
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Tallies of one engine run's cache traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.invalidations
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.invalidations} invalidation(s), "
+            f"{self.stores} store(s)"
+        )
+
+
+def canonical_run_dict(config: ExperimentConfig, seed: int) -> dict:
+    """The canonical config dict with the *run* seed substituted in.
+
+    ``ExperimentRunner.run(seed=...)`` overrides the config's own seed,
+    so two configs differing only in their ``seed`` field describe the
+    same run when executed with the same explicit seed — and must share
+    a cache slot.
+    """
+    canonical = config.canonical_dict()
+    canonical["seed"] = seed
+    return canonical
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of full result records under ``root``.
+
+    ``fingerprint`` defaults to the digest of the installed ``repro``
+    source tree; tests inject fixed strings to exercise invalidation.
+    """
+
+    def __init__(
+        self, root: str | pathlib.Path, fingerprint: str | None = None
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = (
+            code_fingerprint() if fingerprint is None else fingerprint
+        )
+        self.stats = CacheStats()
+
+    # -- keying ------------------------------------------------------------
+
+    def slot_id(self, config: ExperimentConfig, seed: int) -> str:
+        """Digest of (canonical config, seed): names the slot file."""
+        payload = json.dumps(
+            canonical_run_dict(config, seed),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return _digest(payload)
+
+    def key(self, config: ExperimentConfig, seed: int) -> str:
+        """Full content address: slot id extended with the fingerprint."""
+        return _digest(f"{self.slot_id(config, seed)}:{self.fingerprint}")
+
+    def _slot_path(self, slot: str) -> pathlib.Path:
+        return self.root / slot[:2] / f"{slot}.json"
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, config: ExperimentConfig, seed: int) -> dict | None:
+        """The stored record for (config, seed), or None.
+
+        Counts a hit, a miss, or an invalidation (slot present but keyed
+        by different code). A corrupt slot — e.g. a file truncated by an
+        earlier hard kill — counts as an invalidation too: it is stale
+        on-disk state that a re-run will overwrite.
+        """
+        path = self._slot_path(self.slot_id(config, seed))
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.stats.invalidations += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != self.key(
+            config, seed
+        ):
+            self.stats.invalidations += 1
+            return None
+        self.stats.hits += 1
+        return entry["record"]
+
+    def put(
+        self, config: ExperimentConfig, seed: int, record: dict
+    ) -> None:
+        """Store ``record`` for (config, seed), atomically."""
+        slot = self.slot_id(config, seed)
+        path = self._slot_path(slot)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": self.key(config, seed),
+            "fingerprint": self.fingerprint,
+            "slot": slot,
+            "config": canonical_run_dict(config, seed),
+            "record": record,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        """All slot files currently on disk, in sorted path order."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())

@@ -1,0 +1,154 @@
+"""Canned experiment matrices reproducing the paper's grids.
+
+Each preset is a :class:`MatrixSpec`: a base configuration plus the grid
+and seed set to fan out. They mirror the paper's four headline studies —
+closed-loop latency (Fig. 5), sustainable throughput across engines and
+backends (Table 5), inference-parallelism scaling (Fig. 6), and
+burst-recovery behaviour (Fig. 8) — at simulation durations sized so the
+full matrix reproduces in minutes, not hours, and incrementally after
+the first run thanks to the result cache. ``smoke`` is a seconds-long
+grid for CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import ExperimentConfig, SPS_NAMES, WorkloadKind
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixSpec:
+    """One named experiment matrix: base config, grid, and seeds."""
+
+    name: str
+    description: str
+    base: ExperimentConfig
+    grid: dict[str, tuple]
+    seeds: tuple[int, ...] = (0, 1)
+
+    @property
+    def task_count(self) -> int:
+        """Total (point, seed) tasks the matrix fans out."""
+        points = 1
+        for values in self.grid.values():
+            points *= len(values)
+        return points * len(self.seeds)
+
+    def configs(self) -> list[ExperimentConfig]:
+        """Every grid point's validated configuration, in grid order."""
+        from repro.matrix.engine import grid_points
+
+        return [
+            self.base.replace(**overrides)
+            for overrides in grid_points(self.grid)
+        ]
+
+
+def _latency() -> MatrixSpec:
+    return MatrixSpec(
+        name="latency",
+        description=(
+            "closed-loop latency vs batch size, embedded vs external "
+            "serving (Fig. 5)"
+        ),
+        base=ExperimentConfig(
+            sps="flink",
+            serving="onnx",
+            model="ffnn",
+            workload=WorkloadKind.CLOSED_LOOP,
+            ir=2.0,
+            duration=4.0,
+        ),
+        grid={"serving": ("onnx", "tf_serving"), "bsz": (1, 16, 64)},
+    )
+
+
+def _throughput() -> MatrixSpec:
+    return MatrixSpec(
+        name="throughput",
+        description=(
+            "sustainable throughput: every engine x embedded/external "
+            "backend, saturating open loop (Table 5)"
+        ),
+        base=ExperimentConfig(
+            sps="flink", serving="onnx", model="ffnn", ir=None, duration=2.0
+        ),
+        grid={"sps": SPS_NAMES, "serving": ("onnx", "tf_serving")},
+    )
+
+
+def _scalability() -> MatrixSpec:
+    return MatrixSpec(
+        name="scalability",
+        description=(
+            "throughput scaling over inference parallelism mp (Fig. 6)"
+        ),
+        base=ExperimentConfig(
+            sps="flink", serving="onnx", model="ffnn", ir=None, duration=1.5
+        ),
+        grid={"mp": (1, 2, 4, 8), "serving": ("onnx", "tf_serving")},
+    )
+
+
+def _burst_recovery() -> MatrixSpec:
+    return MatrixSpec(
+        name="burst-recovery",
+        description=(
+            "periodic bursts above sustainable rate: latency spike and "
+            "recovery per engine (Fig. 8)"
+        ),
+        base=ExperimentConfig(
+            sps="flink",
+            serving="onnx",
+            model="ffnn",
+            workload=WorkloadKind.PERIODIC_BURSTS,
+            ir=100.0,
+            bd=3.0,
+            tbb=12.0,
+            duration=20.0,
+        ),
+        grid={"sps": ("flink", "kafka_streams")},
+    )
+
+
+def _smoke() -> MatrixSpec:
+    return MatrixSpec(
+        name="smoke",
+        description=(
+            "tiny two-engine grid for CI: seconds of wall-clock, "
+            "exercises pool fan-out and the result cache"
+        ),
+        base=ExperimentConfig(
+            sps="flink", serving="onnx", model="ffnn", ir=50.0, duration=1.0
+        ),
+        grid={"sps": ("flink", "kafka_streams")},
+        seeds=(0,),
+    )
+
+
+_PRESETS: dict[str, typing.Callable[[], MatrixSpec]] = {
+    "latency": _latency,
+    "throughput": _throughput,
+    "scalability": _scalability,
+    "burst-recovery": _burst_recovery,
+    "smoke": _smoke,
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    return tuple(sorted(_PRESETS))
+
+
+def preset(name: str) -> MatrixSpec:
+    """Look up a preset matrix by name."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown matrix preset {name!r}; available: "
+            f"{', '.join(preset_names())}"
+        ) from None
+    return factory()

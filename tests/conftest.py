@@ -1,0 +1,19 @@
+"""Suite-wide pytest plumbing (golden-result refresh flag)."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ expected-result files from the "
+        "current code instead of diffing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should refresh golden files, not check them."""
+    return request.config.getoption("--update-golden")

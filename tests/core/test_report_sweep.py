@@ -4,7 +4,8 @@ import pytest
 
 from repro.config import ExperimentConfig
 from repro.core.report import format_ms, format_rate, format_table, ratio_note
-from repro.core.sweep import sweep
+from repro.core.sweep import sweep, validate_override_fields
+from repro.errors import ConfigError
 
 
 def test_format_table_alignment():
@@ -49,3 +50,41 @@ def test_sweep_empty_grid_rejected():
     base = ExperimentConfig()
     with pytest.raises(ValueError):
         sweep(base, grid={})
+
+
+def test_sweep_unknown_field_rejected_up_front():
+    """A typo'd grid key fails immediately with a helpful message, not
+    deep inside dataclasses.replace on the first grid point."""
+    base = ExperimentConfig()
+    with pytest.raises(ConfigError) as excinfo:
+        sweep(base, grid={"batch_size": [1, 2]})
+    message = str(excinfo.value)
+    assert "unknown sweep field(s) 'batch_size'" in message
+    # The message names the valid fields so the fix is obvious.
+    assert "bsz" in message and "mp" in message
+
+
+def test_validate_override_fields_lists_every_offender():
+    with pytest.raises(ConfigError, match="'nope'.*'typo'"):
+        validate_override_fields(["typo", "mp", "nope"])
+    validate_override_fields(["mp", "bsz"])  # valid names pass silently
+
+
+def test_sweep_parallel_and_cached_match_serial(tmp_path):
+    from repro.matrix import ResultCache
+
+    base = ExperimentConfig(
+        sps="flink", serving="onnx", model="ffnn", ir=50.0, duration=0.5
+    )
+    grid = {"mp": [1, 2]}
+    serial = sweep(base, grid, seeds=(0,))
+    parallel = sweep(base, grid, seeds=(0,), jobs=2)
+    cached = sweep(
+        base, grid, seeds=(0,), cache=ResultCache(tmp_path / "cache")
+    )
+    replayed = sweep(
+        base, grid, seeds=(0,), cache=ResultCache(tmp_path / "cache")
+    )
+    for other in (parallel, cached, replayed):
+        assert [p.overrides for p in other] == [p.overrides for p in serial]
+        assert [p.results for p in other] == [p.results for p in serial]

@@ -1,0 +1,169 @@
+"""Property tests for the content-addressed cache key.
+
+The key must collide exactly when it should: canonically-equal
+(config, seed) pairs share a key; any single field change, seed change,
+or code-fingerprint change produces a different key (and a fingerprint
+change invalidates stored entries rather than serving them).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ExperimentConfig, config_from_dict
+from repro.errors import ConfigError
+from repro.matrix.cache import ResultCache
+
+FINGERPRINT = "test-fingerprint"
+
+
+def key_of(config, seed, fingerprint=FINGERPRINT):
+    # The cache never touches disk for keying, so a dummy root is fine.
+    return ResultCache("unused-cache-root", fingerprint).key(config, seed)
+
+
+#: Field menu for single-field mutations: always-valid distinct values.
+MUTATIONS = {
+    "sps": ("flink", "kafka_streams", "spark_ss", "ray"),
+    "serving": ("onnx", "dl4j", "savedmodel"),
+    "model": ("ffnn", "mobilenet", "resnet50"),
+    "bsz": (1, 2, 16, 64),
+    "mp": (1, 2, 4, 8),
+    "ir": (None, 10.0, 50.0, 200.0),
+    "duration": (1.0, 2.5, 10.0),
+    "warmup_fraction": (0.0, 0.25, 0.5),
+    "partitions": (1, 8, 32),
+    "gpu": (False, True),
+    "use_broker": (True, False),
+}
+
+config_strategy = st.builds(
+    ExperimentConfig,
+    bsz=st.sampled_from(MUTATIONS["bsz"]),
+    mp=st.sampled_from(MUTATIONS["mp"]),
+    ir=st.sampled_from(MUTATIONS["ir"]),
+    duration=st.sampled_from(MUTATIONS["duration"]),
+    serving=st.sampled_from(MUTATIONS["serving"]),
+    sps=st.sampled_from(MUTATIONS["sps"]),
+    partitions=st.sampled_from(MUTATIONS["partitions"]),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=config_strategy, seed=st.integers(0, 1000))
+def test_equal_configs_collide(config, seed):
+    clone = config.replace()
+    assert clone == config
+    assert key_of(clone, seed) == key_of(config, seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    config=config_strategy,
+    seed=st.integers(0, 1000),
+    config_seed=st.integers(0, 1000),
+)
+def test_config_seed_field_is_normalized_away(config, seed, config_seed):
+    """The run seed overrides config.seed, so only the run seed keys."""
+    assert key_of(config.replace(seed=config_seed), seed) == key_of(
+        config, seed
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    field=st.sampled_from(sorted(MUTATIONS)),
+    data=st.data(),
+    seed=st.integers(0, 1000),
+)
+def test_any_single_field_change_changes_key(field, data, seed):
+    values = data.draw(
+        st.lists(
+            st.sampled_from(MUTATIONS[field]),
+            min_size=2,
+            max_size=2,
+            unique=True,
+        )
+    )
+    base = ExperimentConfig()
+    first = base.replace(**{field: values[0]})
+    second = base.replace(**{field: values[1]})
+    assert key_of(first, seed) != key_of(second, seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    config=config_strategy,
+    seeds=st.lists(
+        st.integers(0, 10_000), min_size=2, max_size=2, unique=True
+    ),
+)
+def test_seed_change_changes_key(config, seeds):
+    assert key_of(config, seeds[0]) != key_of(config, seeds[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=config_strategy, seed=st.integers(0, 1000))
+def test_fingerprint_change_changes_key(config, seed):
+    assert key_of(config, seed, "fp-a") != key_of(config, seed, "fp-b")
+
+
+@settings(max_examples=30, deadline=None)
+@given(config=config_strategy, seed=st.integers(0, 1000))
+def test_canonical_round_trip_preserves_key(config, seed):
+    rebuilt = config_from_dict(config.canonical_dict())
+    assert rebuilt.canonical_json() == config.canonical_json()
+    assert key_of(rebuilt, seed) == key_of(config, seed)
+
+
+def test_sequence_type_is_canonicalized():
+    """isz as list vs tuple is the same experiment — same slot."""
+    as_tuple = ExperimentConfig(isz=(4,))
+    as_list = ExperimentConfig(isz=[4])
+    assert key_of(as_tuple, 0) == key_of(as_list, 0)
+
+
+def test_fingerprint_change_invalidates_stored_entries(tmp_path):
+    config = ExperimentConfig()
+    record = {"throughput": 1.0}
+    before = ResultCache(tmp_path, fingerprint="fp-a")
+    before.put(config, 0, record)
+    assert before.get(config, 0) == record
+    assert before.stats.hits == 1
+
+    after = ResultCache(tmp_path, fingerprint="fp-b")
+    assert after.get(config, 0) is None
+    assert after.stats.invalidations == 1
+    assert after.stats.misses == 0
+
+    # Re-running under the new fingerprint overwrites the stale slot.
+    after.put(config, 0, record)
+    assert after.get(config, 0) == record
+    assert len(after) == 1
+
+
+def test_corrupt_slot_counts_as_invalidation(tmp_path):
+    config = ExperimentConfig()
+    cache = ResultCache(tmp_path, fingerprint="fp")
+    cache.put(config, 0, {"throughput": 1.0})
+    [slot] = cache.entries()
+    slot.write_text("{truncated")
+    fresh = ResultCache(tmp_path, fingerprint="fp")
+    assert fresh.get(config, 0) is None
+    assert fresh.stats.invalidations == 1
+
+
+def test_config_from_dict_rejects_unknown_fields():
+    record = ExperimentConfig().canonical_dict()
+    record["not_a_field"] = 1
+    with pytest.raises(ConfigError, match="not_a_field"):
+        config_from_dict(record)
+
+
+def test_canonical_dict_is_complete():
+    """Every config field participates in the cache key."""
+    canonical = ExperimentConfig().canonical_dict()
+    fields = {field.name for field in dataclasses.fields(ExperimentConfig)}
+    assert set(canonical) == fields

@@ -1,0 +1,101 @@
+"""Equivalence guarantees of the matrix engine.
+
+``jobs=1`` and ``jobs=4`` must produce byte-identical exports for the
+same grid, and a cache-hit replay must be indistinguishable from a cold
+run — these are the engine's core contracts (deterministic merge plus a
+lossless serialization round-trip).
+"""
+
+from repro.config import ExperimentConfig
+from repro.core.results_io import (
+    save_records_jsonl,
+    save_results,
+    save_results_csv,
+)
+from repro.matrix import ResultCache, run_matrix
+
+BASE = ExperimentConfig(
+    sps="flink", serving="onnx", model="ffnn", ir=50.0, duration=1.0
+)
+GRID = {"mp": (1, 2)}
+SEEDS = (0, 1)
+
+
+def _export_bytes(report, directory, tag):
+    jsonl = directory / f"{tag}.jsonl"
+    full = directory / f"{tag}.json"
+    csv = directory / f"{tag}.csv"
+    save_records_jsonl(report.records, str(jsonl))
+    save_results(report.results, str(full))
+    save_results_csv(report.results, str(csv))
+    return jsonl.read_bytes(), full.read_bytes(), csv.read_bytes()
+
+
+def test_parallel_matches_serial_byte_for_byte(tmp_path):
+    serial = run_matrix(BASE, GRID, seeds=SEEDS, jobs=1)
+    parallel = run_matrix(BASE, GRID, seeds=SEEDS, jobs=4)
+    assert serial.records == parallel.records
+    assert [p.overrides for p in serial.points] == [
+        p.overrides for p in parallel.points
+    ]
+    assert [p.results for p in serial.points] == [
+        p.results for p in parallel.points
+    ]
+    assert _export_bytes(serial, tmp_path, "serial") == _export_bytes(
+        parallel, tmp_path, "parallel"
+    )
+
+
+def test_parallel_hook_order_is_grid_order():
+    orders = []
+    for jobs in (1, 4):
+        seen = []
+        run_matrix(
+            BASE,
+            GRID,
+            seeds=(0,),
+            jobs=jobs,
+            hook=lambda overrides, results: seen.append(overrides["mp"]),
+        )
+        orders.append(seen)
+    assert orders[0] == orders[1] == [1, 2]
+
+
+def test_cache_replay_identical_to_cold_run(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_matrix(
+        BASE, GRID, seeds=SEEDS, jobs=1, cache=ResultCache(cache_dir)
+    )
+    assert cold.executed == len(SEEDS) * 2
+
+    warm_cache = ResultCache(cache_dir)
+    warm = run_matrix(BASE, GRID, seeds=SEEDS, jobs=1, cache=warm_cache)
+    assert warm.executed == 0
+    assert warm_cache.stats.hits == len(SEEDS) * 2
+    assert warm_cache.stats.misses == 0
+    assert warm.records == cold.records
+    assert [p.results for p in warm.points] == [p.results for p in cold.points]
+    assert _export_bytes(cold, tmp_path, "cold") == _export_bytes(
+        warm, tmp_path, "warm"
+    )
+
+
+def test_interrupted_sweep_resumes_incrementally(tmp_path):
+    """Growing the grid re-executes only the new points (resumability)."""
+    cache_dir = tmp_path / "cache"
+    first = run_matrix(
+        BASE, {"mp": (1,)}, seeds=SEEDS, jobs=1, cache=ResultCache(cache_dir)
+    )
+    assert first.executed == len(SEEDS)
+
+    resumed_cache = ResultCache(cache_dir)
+    resumed = run_matrix(
+        BASE, GRID, seeds=SEEDS, jobs=1, cache=resumed_cache
+    )
+    assert resumed.executed == len(SEEDS)  # only the mp=2 point ran
+    assert resumed_cache.stats.hits == len(SEEDS)
+    assert resumed_cache.stats.misses == len(SEEDS)
+
+    # And the merged outcome equals a never-interrupted cold run.
+    reference = run_matrix(BASE, GRID, seeds=SEEDS, jobs=1)
+    assert resumed.records == reference.records

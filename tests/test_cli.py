@@ -47,12 +47,88 @@ def test_sweep_command(capsys):
         [
             "sweep", "--sps", "flink", "--serving", "onnx",
             "--duration", "1", "--field", "mp", "--values", "1,2",
+            "--no-cache",
         ]
     )
     assert code == 0
     out = capsys.readouterr().out
     assert "sweep over mp" in out
     assert "events/s" in out
+
+
+def test_sweep_command_unknown_field_is_friendly(capsys):
+    code = main(
+        [
+            "sweep", "--duration", "1", "--field", "batch_size",
+            "--values", "1,2", "--no-cache",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown sweep field(s) 'batch_size'" in err
+
+
+def test_sweep_command_uses_cache(tmp_path, capsys):
+    argv = [
+        "sweep", "--duration", "1", "--field", "mp", "--values", "1,2",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "4 store(s)" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "4 hit(s)" in second
+    # The tables themselves are identical, cached or not.
+    assert first.split("cache")[0] == second.split("cache")[0]
+
+
+def test_matrix_command_list(capsys):
+    assert main(["matrix", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("latency", "throughput", "scalability", "burst-recovery", "smoke"):
+        assert name in out
+
+
+def test_matrix_command_smoke_cold_then_cached(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    jsonl_a = str(tmp_path / "a.jsonl")
+    jsonl_b = str(tmp_path / "b.jsonl")
+    argv = ["matrix", "--preset", "smoke", "--jobs", "2", "--cache-dir", cache_dir]
+
+    assert main(argv + ["--jsonl", jsonl_a]) == 0
+    cold = capsys.readouterr().out
+    assert "2 executed, 0 from cache" in cold
+    assert "2 miss(es)" in cold
+
+    assert main(argv + ["--jsonl", jsonl_b]) == 0
+    warm = capsys.readouterr().out
+    assert "0 executed, 2 from cache" in warm
+    assert "2 hit(s)" in warm
+
+    with open(jsonl_a, "rb") as a, open(jsonl_b, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_matrix_command_exports(tmp_path, capsys):
+    json_path = str(tmp_path / "out.json")
+    csv_path = str(tmp_path / "out.csv")
+    code = main(
+        [
+            "matrix", "--preset", "smoke", "--no-cache",
+            "--duration", "0.5", "--json", json_path, "--csv", csv_path,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "matrix preset 'smoke'" in out
+    import json as json_module
+
+    with open(json_path) as handle:
+        records = json_module.load(handle)
+    assert len(records) == 2
+    with open(csv_path) as handle:
+        assert len(handle.readlines()) == 3  # header + 2 rows
 
 
 def test_json_export(tmp_path, capsys):

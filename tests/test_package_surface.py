@@ -35,6 +35,12 @@ PUBLIC_MODULES = [
     "repro.faults.report",
     "repro.core",
     "repro.core.runner",
+    "repro.core.sweep",
+    "repro.matrix",
+    "repro.matrix.engine",
+    "repro.matrix.cache",
+    "repro.matrix.fingerprint",
+    "repro.matrix.presets",
     "repro.core.scenarios",
     "repro.core.analyzer",
     "repro.core.dataset",
