@@ -12,7 +12,7 @@ loops) and pull-style engines can be built on top.
 from repro.broker.records import ConsumerRecord, RecordMetadata
 from repro.broker.partition import PartitionLog
 from repro.broker.topic import Topic
-from repro.broker.cluster import BrokerCluster
+from repro.broker.kafka_cluster import BrokerCluster
 from repro.broker.producer import Producer
 from repro.broker.consumer import Consumer
 

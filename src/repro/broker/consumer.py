@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.broker.cluster import BrokerCluster
+from repro.broker.kafka_cluster import BrokerCluster
 from repro.broker.records import ConsumerRecord
 from repro.errors import ConfigError
 from repro.simul import Environment
@@ -34,10 +34,14 @@ class Consumer:
         topic: str,
         member: int = 0,
         members: int = 1,
+        node: str | None = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
         self.topic = topic
+        #: Cluster node this consumer's task runs on (scale-out
+        #: simulations); None keeps the single shared-LAN cost model.
+        self.node = node
         partition_count = cluster.topic(topic).partition_count
         self.partitions = assign_partitions(partition_count, member, members)
         if not self.partitions:
@@ -96,7 +100,11 @@ class Consumer:
                 for partition, waiter in zip(self.partitions, waiters):
                     self.cluster.cancel_wait(self.topic, partition, waiter)
             records, self._offsets = yield from self.cluster.fetch_many(
-                self.topic, self._offsets, max_records, data_transfer=data_transfer
+                self.topic,
+                self._offsets,
+                max_records,
+                data_transfer=data_transfer,
+                client_node=self.node,
             )
             if records:
                 self.records_consumed += len(records)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.broker.cluster import BrokerCluster
+from repro.broker.kafka_cluster import BrokerCluster
 from repro.broker.records import RecordMetadata
 from repro.simul import Environment
 
@@ -17,7 +17,15 @@ class Producer:
     resulting size to :meth:`send`.
     """
 
-    def __init__(self, env: Environment, cluster: BrokerCluster) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        cluster: BrokerCluster,
+        node: str | None = None,
+    ) -> None:
+        #: Cluster node this producer runs on (scale-out simulations);
+        #: None keeps the single shared-LAN cost model.
+        self.node = node
         self.env = env
         self.cluster = cluster
         self._next_partition: dict[str, int] = {}
@@ -44,7 +52,7 @@ class Producer:
             timestamp = self.env.now
         partition = self._pick_partition(topic, key)
         metadata: RecordMetadata = yield from self.cluster.append(
-            topic, partition, timestamp, value, nbytes
+            topic, partition, timestamp, value, nbytes, client_node=self.node
         )
         self.records_sent += 1
         return metadata

@@ -492,6 +492,243 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cluster_shape_args(parser: argparse.ArgumentParser) -> None:
+    """Deployment-shape knobs shared by ``cluster run``/``capacity-search``."""
+    parser.add_argument(
+        "--nodes", type=int, default=2, help="simulated machines in the cluster"
+    )
+    parser.add_argument(
+        "--racks", type=int, default=1,
+        help="racks the nodes spread over (cross-rack hops pay LAN latency)",
+    )
+    parser.add_argument(
+        "--cpus-per-node", type=int, default=16, dest="cpus_per_node",
+        help="CPU slots per machine (placement refuses to oversubscribe)",
+    )
+    parser.add_argument(
+        "--tasks-per-node", type=int, default=None, dest="tasks_per_node",
+        help="SPS task slots per node (default: = mp)",
+    )
+    parser.add_argument(
+        "--replicas-per-node", type=int, default=1, dest="replicas_per_node",
+        help="external serving replicas per node (behind the load balancer)",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=None,
+        help="broker partitions (default: enough for every task slot)",
+    )
+
+
+def _add_population_args(parser: argparse.ArgumentParser) -> None:
+    """Population-workload knobs for ``cluster run``."""
+    parser.add_argument(
+        "--users", type=int, default=0,
+        help="simulated population size; 0 keeps the plain --ir workload",
+    )
+    parser.add_argument(
+        "--distribution", default="zipf", choices=("zipf", "lognormal"),
+        help="per-user rate distribution",
+    )
+    parser.add_argument(
+        "--zipf-exponent", type=float, default=1.1, dest="zipf_exponent",
+        help="power-law exponent for the zipf distribution",
+    )
+    parser.add_argument(
+        "--sigma", type=float, default=1.0,
+        help="log-scale dispersion for the lognormal distribution",
+    )
+    parser.add_argument(
+        "--events-per-user-per-day", type=float, default=50.0,
+        dest="events_per_user_per_day",
+        help="mean events per user per simulated day",
+    )
+    parser.add_argument(
+        "--diurnal-amplitude", type=float, default=0.3,
+        dest="diurnal_amplitude",
+        help="diurnal swing in [0, 1): 0 is flat",
+    )
+    parser.add_argument(
+        "--diurnal-period", type=float, default=86_400.0,
+        dest="diurnal_period",
+        help="diurnal period in simulated seconds (compress for short runs)",
+    )
+    parser.add_argument(
+        "--rate-scale", type=float, default=1.0, dest="rate_scale",
+        help="multiplier on the aggregate offered rate",
+    )
+    parser.add_argument(
+        "--flash-crowd", action="append", default=[], dest="flash_crowds",
+        metavar="AT:DURATION:MULTIPLIER",
+        help="layer a flash-crowd burst on top (repeatable)",
+    )
+
+
+def _cluster_spec_from_args(args: argparse.Namespace):
+    from repro.cluster.spec import ClusterSpec
+
+    return ClusterSpec(
+        nodes=args.nodes,
+        racks=args.racks,
+        cpus_per_node=args.cpus_per_node,
+        tasks_per_node=args.tasks_per_node,
+        replicas_per_node=args.replicas_per_node,
+    )
+
+
+def _population_from_args(args: argparse.Namespace):
+    from repro.cluster.spec import FlashCrowd, PopulationSpec
+    from repro.errors import ConfigError
+
+    if args.users <= 0:
+        return None
+    crowds = []
+    for text in args.flash_crowds:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"--flash-crowd wants AT:DURATION:MULTIPLIER, got {text!r}"
+            )
+        crowds.append(
+            FlashCrowd(
+                at=float(parts[0]),
+                duration=float(parts[1]),
+                multiplier=float(parts[2]),
+            )
+        )
+    return PopulationSpec(
+        users=args.users,
+        distribution=args.distribution,
+        zipf_exponent=args.zipf_exponent,
+        sigma=args.sigma,
+        events_per_user_per_day=args.events_per_user_per_day,
+        diurnal_amplitude=args.diurnal_amplitude,
+        diurnal_period=args.diurnal_period,
+        flash_crowds=tuple(sorted(crowds, key=lambda c: c.at)),
+        rate_scale=args.rate_scale,
+    )
+
+
+def _cluster_partitions(args: argparse.Namespace, spec) -> int:
+    """Default partition count: at least one per source task slot."""
+    if args.partitions is not None:
+        return args.partitions
+    per_node = spec.tasks_per_node if spec.tasks_per_node else args.mp
+    return max(32, per_node * spec.nodes)
+
+
+def _cluster_config(args: argparse.Namespace, **extra) -> ExperimentConfig:
+    spec = _cluster_spec_from_args(args)
+    return _config_from(
+        args,
+        cluster=spec,
+        use_broker=True,
+        partitions=_cluster_partitions(args, spec),
+        **extra,
+    )
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+
+    try:
+        population = _population_from_args(args)
+        if population is not None:
+            config = _cluster_config(args, population=population)
+        else:
+            config = _cluster_config(args, ir=args.ir)
+        result = run_experiment(config)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        ("throughput (events/s)", format_rate(result.throughput)),
+        ("mean latency (ms)", format_ms(result.latency.mean)),
+        ("p95 latency (ms)", format_ms(result.latency.p95)),
+        ("completed batches", result.completed),
+    ]
+    print(format_table(["metric", "value"], rows, title=config.label()))
+    if args.placement:
+        from repro.cluster import PlacementPlan
+        from repro.config import is_embedded
+
+        plan = PlacementPlan.from_spec(
+            config.cluster,
+            base_tasks=config.mp,
+            external_serving=not is_embedded(config.serving),
+        )
+        print()
+        print(plan.describe())
+    _maybe_dump(args, [result])
+    return 0
+
+
+def _cmd_cluster_capacity(args: argparse.Namespace) -> int:
+    from repro.cluster import SloPolicy, capacity_curve
+    from repro.errors import ConfigError
+
+    node_counts = tuple(int(n) for n in args.node_counts.split(","))
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    slo = SloPolicy(p95_latency=args.slo_p95, min_goodput=args.min_goodput)
+    cache = _open_cache(args)
+
+    def probe_progress(point):
+        verdict = "sustained" if point.sustained else "broken"
+        print(
+            f"  probe {format_rate(point.rate)} events/s: {verdict} "
+            f"(goodput {format_rate(point.throughput)}, "
+            f"p95 {format_ms(point.p95)} ms)"
+        )
+
+    def size_progress(nodes, result):
+        print(
+            f"{nodes} node(s): {format_rate(result.capacity)} events/s "
+            f"sustainable after {len(result.probes)} probes"
+        )
+
+    try:
+        config = _cluster_config(args, ir=None)
+        curve = capacity_curve(
+            config,
+            node_counts=node_counts,
+            slo=slo,
+            size_hook=size_progress,
+            seeds=seeds,
+            start_rate=args.start_rate,
+            tolerance=args.tolerance,
+            max_probes=args.max_probes,
+            jobs=args.jobs,
+            cache=cache,
+            hook=probe_progress if args.verbose else None,
+        )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        (nodes, format_rate(result.capacity), len(result.probes))
+        for nodes, result in curve.points
+    ]
+    print()
+    print(
+        format_table(
+            ["nodes", "sustainable events/s", "probes"],
+            rows,
+            title=(
+                f"capacity search: {args.sps}/{args.serving}/{args.model} "
+                f"SLO p95<={args.slo_p95 * 1000:.0f}ms"
+            ),
+        )
+    )
+    verdict = (
+        "capacity scales monotonically with node count"
+        if curve.monotonic
+        else "WARNING: capacity is NOT monotonic over node counts"
+    )
+    print(verdict)
+    if cache is not None:
+        print(f"cache {args.cache_dir}: {cache.stats.summary()}")
+    return 0 if curve.monotonic else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.core import lint_paths, make_rules
     from repro.analysis.report import (
@@ -523,6 +760,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_verify_determinism(args: argparse.Namespace) -> int:
     from repro.analysis.determinism import verify_determinism
 
+    extra: dict[str, typing.Any] = {}
+    if args.nodes > 0:
+        from repro.cluster.spec import ClusterSpec
+
+        spec = ClusterSpec(nodes=args.nodes)
+        extra["cluster"] = spec
+        extra["use_broker"] = True
+        extra["partitions"] = max(32, args.mp * args.nodes)
     config = ExperimentConfig(
         sps=SPS_NAMES[0],
         serving=args.serving,
@@ -532,6 +777,7 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
         seed=args.seed,
         duration=args.duration,
         ir=args.ir,
+        **extra,
     )
     engines = SPS_NAMES if args.sps == "all" else (args.sps,)
     verdicts = verify_determinism(
@@ -607,7 +853,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matrix_cmd.add_argument(
         "--preset", default="smoke",
-        choices=("latency", "throughput", "scalability", "burst-recovery", "smoke"),
+        choices=(
+            "latency", "throughput", "scalability", "burst-recovery",
+            "scaleout", "capacity-search", "smoke",
+        ),
         help="paper grid to reproduce",
     )
     matrix_cmd.add_argument(
@@ -747,6 +996,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_cmd.set_defaults(func=_cmd_chaos)
 
+    cluster_cmd = commands.add_parser(
+        "cluster",
+        help="multi-node scale-out simulations: placement, population "
+        "workloads, sustainable-capacity search",
+    )
+    cluster_sub = cluster_cmd.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    cluster_run = cluster_sub.add_parser(
+        "run", help="one experiment on a simulated multi-node deployment"
+    )
+    _add_sut_args(cluster_run)
+    _add_cluster_shape_args(cluster_run)
+    _add_population_args(cluster_run)
+    cluster_run.add_argument(
+        "--ir", type=float, default=None,
+        help="input rate; omit to saturate (ignored when --users > 0)",
+    )
+    cluster_run.add_argument(
+        "--placement", action="store_true",
+        help="also print the node placement plan",
+    )
+    cluster_run.set_defaults(func=_cmd_cluster_run)
+
+    cluster_cap = cluster_sub.add_parser(
+        "capacity-search",
+        help="binary-search max sustainable events/s per deployment size "
+        "against an SLO (Theodolite-style)",
+    )
+    _add_sut_args(cluster_cap)
+    _add_cluster_shape_args(cluster_cap)
+    cluster_cap.add_argument(
+        "--node-counts", default="1,2,4", dest="node_counts",
+        help="comma-separated deployment sizes to search",
+    )
+    cluster_cap.add_argument(
+        "--slo-p95", type=float, default=1.0, dest="slo_p95",
+        help="SLO: p95 end-to-end latency bound (seconds)",
+    )
+    cluster_cap.add_argument(
+        "--min-goodput", type=float, default=0.9, dest="min_goodput",
+        help="SLO: completed/offered throughput floor in (0, 1]",
+    )
+    cluster_cap.add_argument(
+        "--start-rate", type=float, default=50.0, dest="start_rate",
+        help="first probed rate (events/s); doubles until the SLO breaks",
+    )
+    cluster_cap.add_argument(
+        "--tolerance", type=float, default=0.1,
+        help="stop when the bracket's relative width drops under this",
+    )
+    cluster_cap.add_argument(
+        "--max-probes", type=int, default=24, dest="max_probes",
+        help="probe budget per deployment size",
+    )
+    cluster_cap.add_argument(
+        "--seeds", default="0,1",
+        help="comma-separated seeds averaged per probe",
+    )
+    cluster_cap.add_argument(
+        "--verbose", action="store_true",
+        help="print every probe, not just per-size results",
+    )
+    _add_matrix_exec_args(cluster_cap)
+    cluster_cap.set_defaults(func=_cmd_cluster_capacity)
+
     lint_cmd = commands.add_parser(
         "lint", help="determinism & simulation-safety linter"
     )
@@ -795,6 +1111,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_cmd.add_argument(
         "--duration", type=float, default=2.0, help="simulated seconds"
+    )
+    verify_cmd.add_argument(
+        "--nodes", type=int, default=0,
+        help="also cluster the scenario over this many simulated nodes "
+        "(0 = single-node, no cluster layer)",
     )
     verify_cmd.add_argument(
         "--no-sanitize", action="store_true", dest="no_sanitize",

@@ -1,0 +1,73 @@
+"""Multi-node scale-out simulation: topologies, placement, population
+workloads, load-balanced serving fleets, and sustainable-capacity search.
+
+Only the pure-configuration types (:mod:`repro.cluster.spec`) are
+imported eagerly: :mod:`repro.config` embeds them in
+``ExperimentConfig``, so this package's runtime modules — which import
+config-adjacent machinery — must load lazily to avoid a cycle (the same
+layering :mod:`repro.faults` uses for its plan types).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.spec import (
+    DISTRIBUTIONS,
+    ClusterSpec,
+    FlashCrowd,
+    PopulationSpec,
+    cluster_spec_from_dict,
+    population_spec_from_dict,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "ClusterSpec",
+    "FlashCrowd",
+    "PopulationSpec",
+    "cluster_spec_from_dict",
+    "population_spec_from_dict",
+    # Lazily loaded (see __getattr__):
+    "ClusterTopology",
+    "NodeSpec",
+    "DRIVER_NODE",
+    "PlacementPlan",
+    "PopulationWorkload",
+    "PopulationSchedule",
+    "LoadBalancedFleet",
+    "ClusterRuntime",
+    "SloPolicy",
+    "CapacityPoint",
+    "CapacityCurve",
+    "search_capacity",
+    "capacity_curve",
+]
+
+_LAZY = {
+    "ClusterTopology": "repro.cluster.topology",
+    "NodeSpec": "repro.cluster.topology",
+    "DRIVER_NODE": "repro.cluster.topology",
+    "PlacementPlan": "repro.cluster.placement",
+    "PopulationWorkload": "repro.cluster.workload",
+    "PopulationSchedule": "repro.cluster.workload",
+    "LoadBalancedFleet": "repro.cluster.serving",
+    "ClusterRuntime": "repro.cluster.runtime",
+    "SloPolicy": "repro.cluster.capacity",
+    "CapacityPoint": "repro.cluster.capacity",
+    "CapacityCurve": "repro.cluster.capacity",
+    "search_capacity": "repro.cluster.capacity",
+    "capacity_curve": "repro.cluster.capacity",
+}
+
+
+def __getattr__(name: str) -> typing.Any:
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,178 @@
+"""Deterministic placement of pipeline components onto cluster nodes.
+
+A :class:`PlacementPlan` decides, before the simulation starts, which
+node hosts each broker partition, each SPS task slot, and each
+external-serving replica (plus the load balancer in front of them).
+Everything is round-robin and derived purely from the
+:class:`~repro.cluster.spec.ClusterSpec`, so the same configuration
+always yields the same placement — a prerequisite for byte-identical
+dual runs.
+
+The plan also implements the link-resolution interface the node-aware
+:class:`~repro.broker.kafka_cluster.BrokerCluster` consumes:
+``broker_count`` / ``broker_index`` / ``node_of_partition`` /
+``link_to_partition``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.topology import DRIVER_NODE, ClusterTopology
+from repro.errors import ConfigError
+from repro.netsim import Link
+
+
+class PlacementPlan:
+    """Where every pipeline component of one experiment runs.
+
+    Layout per node: 1 broker, ``tasks_per_node`` SPS task slots, and
+    (external serving only) ``replicas_per_node`` serving replicas. The
+    load balancer lives on the first node; the workload driver sits
+    outside the cluster on :data:`~repro.cluster.topology.DRIVER_NODE`.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        tasks_per_node: int,
+        replicas_per_node: int = 0,
+        cpus_per_task: int = 1,
+        cpus_per_replica: int = 1,
+    ) -> None:
+        if tasks_per_node < 1:
+            raise ConfigError(
+                f"tasks_per_node must be >= 1, got {tasks_per_node}"
+            )
+        if replicas_per_node < 0:
+            raise ConfigError(
+                f"replicas_per_node must be >= 0, got {replicas_per_node}"
+            )
+        self.topology = topology
+        self.tasks_per_node = tasks_per_node
+        self.replicas_per_node = replicas_per_node
+        names = topology.node_names
+        #: One broker per node, broker i on node i.
+        self.broker_nodes: tuple[str, ...] = names
+        #: Task slot t runs on node t // tasks_per_node (slots fill a
+        #: node before spilling to the next, like Flink slot groups).
+        self.task_nodes: tuple[str, ...] = tuple(
+            names[slot // tasks_per_node]
+            for slot in range(tasks_per_node * len(names))
+        )
+        #: Replica r runs on node r // replicas_per_node.
+        self.replica_nodes: tuple[str, ...] = tuple(
+            names[replica // replicas_per_node]
+            for replica in range(replicas_per_node * len(names))
+        )
+        #: The simulated load balancer fronting external serving.
+        self.lb_node: str = names[0]
+        self.driver_node: str = DRIVER_NODE
+        self._check_capacity(cpus_per_task, cpus_per_replica)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ClusterSpec,
+        base_tasks: int,
+        external_serving: bool,
+        topology: ClusterTopology | None = None,
+    ) -> "PlacementPlan":
+        """Build the plan a :class:`ClusterSpec` implies for one
+        experiment: ``tasks_per_node`` explicit slots per node, or the
+        experiment's own parallelism (``base_tasks``) replicated per
+        node when unset."""
+        if topology is None:
+            topology = ClusterTopology.from_spec(spec)
+        tasks = (
+            spec.tasks_per_node
+            if spec.tasks_per_node is not None
+            else base_tasks
+        )
+        replicas = spec.replicas_per_node if external_serving else 0
+        return cls(topology, tasks_per_node=tasks, replicas_per_node=replicas)
+
+    def _check_capacity(self, cpus_per_task: int, cpus_per_replica: int) -> None:
+        for node in self.topology.nodes:
+            # 1 CPU for the colocated broker.
+            demand = (
+                1
+                + self.tasks_per_node * cpus_per_task
+                + self.replicas_per_node * cpus_per_replica
+                + (1 if node.name == self.lb_node and self.replicas_per_node else 0)
+            )
+            if demand > node.cpus:
+                raise ConfigError(
+                    f"placement oversubscribes node {node.name!r}: needs "
+                    f"{demand} CPU slots (1 broker + {self.tasks_per_node} "
+                    f"tasks + {self.replicas_per_node} replicas"
+                    f"{' + 1 lb' if node.name == self.lb_node and self.replicas_per_node else ''}"
+                    f") but the node has {node.cpus}; raise cpus_per_node "
+                    f"or lower tasks_per_node/replicas_per_node"
+                )
+
+    # -- totals --------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.topology.nodes)
+
+    @property
+    def total_tasks(self) -> int:
+        """Engine parallelism across the whole cluster."""
+        return len(self.task_nodes)
+
+    @property
+    def total_replicas(self) -> int:
+        return len(self.replica_nodes)
+
+    # -- broker interface (consumed by BrokerCluster) ------------------
+
+    @property
+    def broker_count(self) -> int:
+        return len(self.broker_nodes)
+
+    def broker_index(self, partition: int) -> int:
+        return partition % self.broker_count
+
+    def node_of_partition(self, partition: int) -> str:
+        return self.broker_nodes[self.broker_index(partition)]
+
+    def link_to_partition(self, client_node: str | None, partition: int) -> Link:
+        return self.topology.link_between(
+            client_node, self.node_of_partition(partition)
+        )
+
+    # -- component lookups ---------------------------------------------
+
+    def node_of_task(self, slot: int) -> str:
+        return self.task_nodes[slot % len(self.task_nodes)]
+
+    def node_of_replica(self, replica: int) -> str:
+        return self.replica_nodes[replica % len(self.replica_nodes)]
+
+    def counts_by_node(self) -> dict[str, dict[str, int]]:
+        """Per-node component counts (for gauges and the CLI report)."""
+        out: dict[str, dict[str, int]] = {
+            name: {"brokers": 0, "tasks": 0, "replicas": 0}
+            for name in self.topology.node_names
+        }
+        for name in self.broker_nodes:
+            out[name]["brokers"] += 1
+        for name in self.task_nodes:
+            out[name]["tasks"] += 1
+        for name in self.replica_nodes:
+            out[name]["replicas"] += 1
+        return out
+
+    def describe(self) -> str:
+        """Human-readable placement summary for the CLI."""
+        lines = []
+        for name, counts in self.counts_by_node().items():
+            rack = self.topology.node(name).rack
+            parts = [f"{counts['brokers']} broker", f"{counts['tasks']} tasks"]
+            if counts["replicas"]:
+                parts.append(f"{counts['replicas']} replicas")
+            if name == self.lb_node and self.total_replicas:
+                parts.append("lb")
+            lines.append(f"  {name} (rack {rack}): " + ", ".join(parts))
+        return "\n".join(lines)

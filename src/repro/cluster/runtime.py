@@ -1,0 +1,129 @@
+"""Runtime assembly of a clustered experiment.
+
+:class:`ClusterRuntime` is what the experiment runner instantiates when
+``config.cluster`` is set: it derives the topology and placement plan
+once, then hands the runner node-aware pieces — the broker placement,
+the source-task → node mapping for input gateways, the driver node for
+the producer, and (for external serving) the load-balanced replica
+fleet. It also registers the per-node gauges.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.placement import PlacementPlan
+from repro.cluster.serving import LoadBalancedFleet
+from repro.cluster.topology import DRIVER_NODE, ClusterTopology
+from repro.metrics.registry import NO_METRICS
+from repro.serving.factory import channel_for, create_serving_tool
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import ExperimentConfig
+
+
+def total_parallelism(config: "ExperimentConfig") -> int:
+    """Engine task slots a clustered config deploys across all nodes
+    (``tasks_per_node × nodes``, with ``mp`` standing in per node when
+    ``tasks_per_node`` is unset). Plain configs keep ``mp``."""
+    if config.cluster is None:
+        return config.mp
+    per_node = (
+        config.cluster.tasks_per_node
+        if config.cluster.tasks_per_node is not None
+        else config.mp
+    )
+    return per_node * config.cluster.nodes
+
+
+class ClusterRuntime:
+    """Node-aware wiring for one clustered run."""
+
+    def __init__(
+        self,
+        env: typing.Any,
+        config: "ExperimentConfig",
+        serving_name: str,
+        metrics: typing.Any = NO_METRICS,
+    ) -> None:
+        from repro.config import is_embedded
+
+        assert config.cluster is not None
+        self.env = env
+        self.config = config
+        self.serving_name = serving_name
+        self.external_serving = not is_embedded(serving_name)
+        self.topology = ClusterTopology.from_spec(config.cluster)
+        self.placement = PlacementPlan.from_spec(
+            config.cluster,
+            base_tasks=config.mp,
+            external_serving=self.external_serving,
+            topology=self.topology,
+        )
+        self.driver_node = DRIVER_NODE
+        self._register_metrics(metrics)
+
+    def _register_metrics(self, registry: typing.Any) -> None:
+        registry.gauge(
+            "cluster_nodes",
+            help="simulated machines in the cluster",
+            fn=lambda: self.placement.node_count,
+        )
+        for name, counts in self.placement.counts_by_node().items():
+            for component in ("brokers", "tasks", "replicas"):
+                registry.gauge(
+                    f"cluster_node_{component}",
+                    help=f"{component} placed on this node",
+                    labels={"node": name},
+                    fn=lambda c=counts, k=component: c[k],
+                )
+
+    # -- pieces the runner plugs in --------------------------------------
+
+    def node_of_task(self, slot: int) -> str:
+        """Source-task → node mapping for :class:`BrokerInput`."""
+        return self.placement.node_of_task(slot)
+
+    def build_serving(
+        self,
+        model: str,
+        gpu: bool,
+        rng: typing.Any,
+        server_workers: int | None,
+        protocol: str | None,
+    ) -> LoadBalancedFleet | None:
+        """The load-balanced replica fleet, or None for embedded serving
+        (embedded tools scale through the task count instead)."""
+        if not self.external_serving:
+            return None
+        replicas = []
+        for index in range(self.placement.total_replicas):
+            node = self.placement.node_of_replica(index)
+            replicas.append(
+                create_serving_tool(
+                    self.serving_name,
+                    self.env,
+                    model,
+                    mp=self.config.mp,
+                    gpu=gpu,
+                    rng=rng,
+                    server_workers=server_workers,
+                    protocol=protocol,
+                    link=self.topology.link_between(
+                        self.placement.lb_node, node
+                    ),
+                )
+            )
+        return LoadBalancedFleet(
+            self.env,
+            replicas,
+            replica_nodes=self.placement.replica_nodes,
+            lb_node=self.placement.lb_node,
+            # Scoring tasks spread over every node; the hop to the
+            # balancer is the cluster's typical internal link.
+            ingress_channel=channel_for(
+                self.serving_name,
+                protocol=protocol,
+                link=self.topology.typical_internal_link(),
+            ),
+        )

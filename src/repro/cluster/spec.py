@@ -1,0 +1,225 @@
+"""Pure-configuration types for multi-node scale-out simulations.
+
+These dataclasses are the only part of :mod:`repro.cluster` that
+:mod:`repro.config` imports (mirroring how :mod:`repro.faults` exposes
+its plan types): they carry no simulation state, validate eagerly with
+friendly :class:`~repro.errors.ConfigError` messages, and round-trip
+losslessly through ``ExperimentConfig.canonical_dict`` /
+``config_from_dict`` so cached matrix runs with cluster configurations
+replay byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+#: Supported per-user rate distributions for population workloads.
+DISTRIBUTIONS = ("zipf", "lognormal")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of one simulated multi-node deployment.
+
+    Every node hosts one broker, ``tasks_per_node`` SPS task slots, and
+    (for external serving) ``replicas_per_node`` serving replicas behind
+    a load balancer, so adding nodes scales brokers, compute, and
+    serving together — the scale-out methodology of PDSP-Bench and
+    Theodolite, where each configuration is a *deployment size*.
+    """
+
+    #: Simulated machines in the cluster.
+    nodes: int = 2
+    #: CPU slots per machine; placement refuses to oversubscribe them.
+    cpus_per_node: int = 16
+    #: Racks the nodes spread over (round-robin). Nodes in one rack talk
+    #: over the rack link; nodes in different racks pay the LAN link.
+    racks: int = 1
+    #: SPS task slots placed per node. None derives it from the
+    #: experiment's ``mp`` (total engine parallelism = mp × nodes).
+    tasks_per_node: int | None = None
+    #: External-serving replicas placed per node (behind the simulated
+    #: load balancer). Ignored for embedded serving.
+    replicas_per_node: int = 1
+    #: One-way base latency of an intra-rack hop (seconds). None uses
+    #: the calibrated default (half the paper's LAN base latency).
+    rack_latency: float | None = None
+    #: One-way base latency of a cross-rack (LAN) hop (seconds). None
+    #: uses the paper's calibrated LAN latency.
+    lan_latency: float | None = None
+    #: Link bandwidth in bytes/second shared by rack and LAN hops. None
+    #: uses the paper's calibrated 1 Gbps-class LAN bandwidth.
+    bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError(f"cluster needs >= 1 node, got {self.nodes}")
+        if self.nodes > 1024:
+            raise ConfigError(
+                f"cluster caps at 1024 simulated nodes, got {self.nodes}"
+            )
+        if self.cpus_per_node < 1:
+            raise ConfigError(
+                f"cpus_per_node must be >= 1, got {self.cpus_per_node}"
+            )
+        if self.racks < 1:
+            raise ConfigError(f"racks must be >= 1, got {self.racks}")
+        if self.racks > self.nodes:
+            raise ConfigError(
+                f"more racks ({self.racks}) than nodes ({self.nodes})"
+            )
+        if self.tasks_per_node is not None and self.tasks_per_node < 1:
+            raise ConfigError(
+                f"tasks_per_node must be >= 1, got {self.tasks_per_node}"
+            )
+        if self.replicas_per_node < 1:
+            raise ConfigError(
+                f"replicas_per_node must be >= 1, got {self.replicas_per_node}"
+            )
+        for name in ("rack_latency", "lan_latency"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ConfigError(
+                f"bandwidth must be positive, got {self.bandwidth}"
+            )
+
+    def __str__(self) -> str:
+        """Compact form for matrix tables: ``3n`` / ``4n/2r``."""
+        racks = f"/{self.racks}r" if self.racks > 1 else ""
+        return f"{self.nodes}n{racks}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FlashCrowd:
+    """One flash-crowd burst: offered load multiplies by ``multiplier``
+    for ``duration`` seconds starting at ``at``."""
+
+    at: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigError(f"flash crowd start must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ConfigError(
+                f"flash crowd duration must be positive, got {self.duration}"
+            )
+        if self.multiplier <= 0:
+            raise ConfigError(
+                f"flash crowd multiplier must be positive, got {self.multiplier}"
+            )
+
+    def active(self, time: float) -> bool:
+        return self.at <= time < self.at + self.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class PopulationSpec:
+    """A population-scale workload: millions of users, each with its own
+    heavy-tailed event rate, modulated by a diurnal cycle and optional
+    flash crowds. Everything derives deterministically from the run seed.
+    """
+
+    #: Simulated users. The generator is O(users) once per run (a NumPy
+    #: draw), so millions are cheap.
+    users: int = 1_000_000
+    #: Per-user rate distribution: "zipf" (rank-weighted power law) or
+    #: "lognormal" (seeded multiplicative draws).
+    distribution: str = "zipf"
+    #: Power-law exponent for the zipf distribution (> 1 concentrates
+    #: traffic in the head).
+    zipf_exponent: float = 1.1
+    #: Log-scale dispersion for the lognormal distribution.
+    sigma: float = 1.0
+    #: Mean events per user per simulated day; the aggregate offered
+    #: rate is ``users * events_per_user_per_day / 86400 * rate_scale``.
+    events_per_user_per_day: float = 50.0
+    #: Relative amplitude of the diurnal cycle in [0, 1): 0 is flat,
+    #: 0.5 swings offered load ±50% around the mean.
+    diurnal_amplitude: float = 0.3
+    #: Diurnal period in simulated seconds (86400 = one day; benchmarks
+    #: compress it so a short run still sees peaks and troughs).
+    diurnal_period: float = 86_400.0
+    #: Flash-crowd bursts layered on top, in start-time order.
+    flash_crowds: tuple[FlashCrowd, ...] = ()
+    #: Multiplier on the aggregate offered rate. The capacity search
+    #: scales a population workload through this knob.
+    rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise ConfigError(f"population needs >= 1 user, got {self.users}")
+        if self.users > 100_000_000:
+            raise ConfigError(
+                f"population caps at 100M simulated users, got {self.users}"
+            )
+        if self.distribution not in DISTRIBUTIONS:
+            raise ConfigError(
+                f"unknown distribution {self.distribution!r}; expected one "
+                f"of {DISTRIBUTIONS}"
+            )
+        if self.zipf_exponent <= 1.0:
+            raise ConfigError(
+                f"zipf_exponent must be > 1, got {self.zipf_exponent}"
+            )
+        if self.sigma < 0:
+            raise ConfigError(f"sigma must be >= 0, got {self.sigma}")
+        if self.events_per_user_per_day <= 0:
+            raise ConfigError(
+                "events_per_user_per_day must be positive, got "
+                f"{self.events_per_user_per_day}"
+            )
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ConfigError(
+                f"diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude}"
+            )
+        if self.diurnal_period <= 0:
+            raise ConfigError(
+                f"diurnal_period must be positive, got {self.diurnal_period}"
+            )
+        if self.rate_scale <= 0:
+            raise ConfigError(
+                f"rate_scale must be positive, got {self.rate_scale}"
+            )
+        starts = [crowd.at for crowd in self.flash_crowds]
+        if starts != sorted(starts):
+            raise ConfigError("flash_crowds must be sorted by start time")
+
+    @property
+    def mean_rate(self) -> float:
+        """Aggregate mean offered rate in events per simulated second."""
+        return (
+            self.users * self.events_per_user_per_day / 86_400.0
+        ) * self.rate_scale
+
+    def __str__(self) -> str:
+        """Compact form for matrix tables: ``1000000u-zipf``."""
+        return f"{self.users}u-{self.distribution}"
+
+
+def cluster_spec_from_dict(record: dict) -> ClusterSpec:
+    """Rebuild a :class:`ClusterSpec` from its canonical dict."""
+    known = {field.name for field in dataclasses.fields(ClusterSpec)}
+    unknown = sorted(set(record) - known)
+    if unknown:
+        raise ConfigError(f"unknown cluster field(s) in record: {unknown}")
+    return ClusterSpec(**record)
+
+
+def population_spec_from_dict(record: dict) -> PopulationSpec:
+    """Rebuild a :class:`PopulationSpec` from its canonical dict."""
+    known = {field.name for field in dataclasses.fields(PopulationSpec)}
+    unknown = sorted(set(record) - known)
+    if unknown:
+        raise ConfigError(f"unknown population field(s) in record: {unknown}")
+    data = dict(record)
+    data["flash_crowds"] = tuple(
+        FlashCrowd(**crowd) for crowd in data.get("flash_crowds", ())
+    )
+    return PopulationSpec(**data)

@@ -1,0 +1,155 @@
+"""Cluster topologies: named nodes, racks, and the links between them.
+
+A :class:`ClusterTopology` models the machines of a simulated scale-out
+deployment. Each node has a CPU-slot budget (a placement-time resource
+cap) and belongs to a rack; any two endpoints resolve to one of three
+:class:`~repro.netsim.link.Link` classes:
+
+- **loopback** — same node: near-zero latency, memory-bus bandwidth;
+- **rack** — same rack, different node: sub-LAN latency;
+- **lan** — different racks: the paper's calibrated LAN (§4.2).
+
+An external **driver** host (the workload generator of §3.1) sits
+outside every rack and always pays the LAN link, exactly like the
+paper's dedicated input-producer VM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import calibration as cal
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ConfigError
+from repro.netsim import Link
+
+#: The workload generator's host, outside the cluster (paper §4.2: the
+#: input producer runs on its own VM).
+DRIVER_NODE = "driver"
+
+#: Loopback hop: effectively free transfer for colocated components.
+LOOPBACK_LATENCY = 0.000005  # 5 µs kernel round through localhost
+LOOPBACK_BANDWIDTH = 8e9  # memory-bus class, bytes/s
+
+#: Intra-rack hop: top-of-rack switch only, half the paper's LAN latency.
+RACK_LATENCY = 0.5 * cal.NET_BASE_LATENCY
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """One simulated machine."""
+
+    name: str
+    cpus: int
+    rack: int
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ConfigError(f"node {self.name!r} needs >= 1 cpu")
+        if self.rack < 0:
+            raise ConfigError(f"node {self.name!r} has negative rack")
+
+
+class ClusterTopology:
+    """The machines of one simulated deployment and their links."""
+
+    def __init__(
+        self,
+        nodes: list[NodeSpec] | tuple[NodeSpec, ...],
+        rack_link: Link | None = None,
+        lan_link: Link | None = None,
+        loopback: Link | None = None,
+    ) -> None:
+        if not nodes:
+            raise ConfigError("topology needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate node names in topology: {names}")
+        if DRIVER_NODE in names:
+            raise ConfigError(
+                f"node name {DRIVER_NODE!r} is reserved for the workload driver"
+            )
+        self.nodes: tuple[NodeSpec, ...] = tuple(nodes)
+        self._by_name = {node.name: node for node in self.nodes}
+        self.loopback = loopback if loopback is not None else Link(
+            base_latency=LOOPBACK_LATENCY, bandwidth=LOOPBACK_BANDWIDTH
+        )
+        self.rack_link = rack_link if rack_link is not None else Link(
+            base_latency=RACK_LATENCY
+        )
+        self.lan_link = lan_link if lan_link is not None else Link()
+
+    @classmethod
+    def from_spec(cls, spec: ClusterSpec) -> "ClusterTopology":
+        """Build the regular topology a :class:`ClusterSpec` describes:
+        ``nodes`` identical machines named ``node-0..n-1``, spread
+        round-robin over ``racks`` racks."""
+        nodes = [
+            NodeSpec(
+                name=f"node-{index}",
+                cpus=spec.cpus_per_node,
+                rack=index % spec.racks,
+            )
+            for index in range(spec.nodes)
+        ]
+        bandwidth = (
+            spec.bandwidth if spec.bandwidth is not None else cal.NET_BANDWIDTH
+        )
+        rack_latency = (
+            spec.rack_latency if spec.rack_latency is not None else RACK_LATENCY
+        )
+        lan_latency = (
+            spec.lan_latency
+            if spec.lan_latency is not None
+            else cal.NET_BASE_LATENCY
+        )
+        return cls(
+            nodes,
+            rack_link=Link(base_latency=rack_latency, bandwidth=bandwidth),
+            lan_link=Link(base_latency=lan_latency, bandwidth=bandwidth),
+        )
+
+    # -- lookups -------------------------------------------------------
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(node.name for node in self.nodes)
+
+    @property
+    def rack_count(self) -> int:
+        return len({node.rack for node in self.nodes})
+
+    def node(self, name: str) -> NodeSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown node {name!r}; have {sorted(self._by_name)}"
+            ) from None
+
+    def link_between(self, a: str | None, b: str | None) -> Link:
+        """The link one hop between ``a`` and ``b`` pays.
+
+        Either endpoint may be :data:`DRIVER_NODE` (or ``None``, meaning
+        an unattributed cluster-internal endpoint). The driver always
+        pays the LAN; unattributed internal endpoints pay the
+        *typical* internal hop so costs stay deterministic without
+        per-call attribution."""
+        if a == b and a is not None and a != DRIVER_NODE:
+            return self.loopback
+        if a == DRIVER_NODE or b == DRIVER_NODE:
+            return self.lan_link
+        if a is None or b is None:
+            return self.typical_internal_link()
+        if self.node(a).rack == self.node(b).rack:
+            return self.rack_link
+        return self.lan_link
+
+    def typical_internal_link(self) -> Link:
+        """The hop an unattributed in-cluster client pays: loopback on a
+        one-node cluster, the rack link inside one rack, LAN otherwise."""
+        if len(self.nodes) == 1:
+            return self.loopback
+        if self.rack_count == 1:
+            return self.rack_link
+        return self.lan_link

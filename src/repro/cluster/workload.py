@@ -1,0 +1,136 @@
+"""Population-scale workload generation.
+
+Instead of the paper's fixed input rate (``ir``), a
+:class:`PopulationWorkload` derives the offered load from a simulated
+*population*: millions of users, each with its own mean event rate drawn
+from a heavy-tailed distribution (Zipf rank weights or seeded lognormal
+draws), aggregated and modulated by a diurnal cycle plus optional
+flash-crowd bursts. The result plugs into the existing open-loop
+producer as a :class:`~repro.core.generator.RateSchedule`.
+
+Everything is a pure function of ``(spec, seed)``:
+
+- Zipf weights are closed-form rank weights ``k^-s`` — no RNG at all;
+- lognormal draws come from a dedicated
+  :class:`~repro.simul.rng.RandomStreams` stream, so the same seed
+  yields bit-identical per-user rates in any process;
+- diurnal and flash-crowd modulation are deterministic trigonometry.
+
+:meth:`PopulationWorkload.compile` discretizes the aggregate rate curve
+into piecewise-constant steps, and :meth:`schedule_bytes` renders those
+steps canonically — the byte string property tests compare across runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.spec import PopulationSpec
+from repro.core.generator import RateSchedule
+from repro.simul.rng import RandomStreams
+
+
+class PopulationSchedule(RateSchedule):
+    """Aggregate offered rate of a :class:`PopulationWorkload`."""
+
+    def __init__(self, workload: "PopulationWorkload") -> None:
+        self._workload = workload
+
+    def rate_at(self, time: float) -> float:
+        return self._workload.rate_at(time)
+
+
+class PopulationWorkload:
+    """A deterministic population of users and its aggregate load curve."""
+
+    def __init__(self, spec: PopulationSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        self._rates: np.ndarray | None = None
+
+    # -- per-user rates -------------------------------------------------
+
+    def user_rates(self) -> np.ndarray:
+        """Mean events/s per user, heaviest first, summing (up to float
+        rounding) to ``spec.mean_rate``. Computed once and cached."""
+        if self._rates is None:
+            if self.spec.distribution == "zipf":
+                weights = self._zipf_weights()
+            else:
+                weights = self._lognormal_weights()
+            total = float(weights.sum())
+            self._rates = weights * (self.spec.mean_rate / total)
+        return self._rates
+
+    def _zipf_weights(self) -> np.ndarray:
+        ranks = np.arange(1, self.spec.users + 1, dtype=np.float64)
+        return ranks ** (-self.spec.zipf_exponent)
+
+    def _lognormal_weights(self) -> np.ndarray:
+        rng = RandomStreams(self.seed).stream("cluster.population")
+        draws = rng.lognormal(
+            mean=0.0, sigma=self.spec.sigma, size=self.spec.users
+        )
+        return np.sort(draws)[::-1]
+
+    @property
+    def base_rate(self) -> float:
+        """Aggregate mean offered rate (events/s) before modulation."""
+        return self.spec.mean_rate
+
+    def head_share(self, fraction: float = 0.01) -> float:
+        """Share of total load carried by the heaviest ``fraction`` of
+        users — the heavy-tail diagnostic the property tests assert on."""
+        rates = self.user_rates()
+        head = max(1, int(len(rates) * fraction))
+        return float(rates[:head].sum() / rates.sum())
+
+    # -- modulation -----------------------------------------------------
+
+    def modulation(self, time: float) -> float:
+        """Deterministic rate multiplier at ``time``: diurnal sinusoid
+        (mean 1.0) times any active flash-crowd multiplier."""
+        factor = 1.0 + self.spec.diurnal_amplitude * math.sin(
+            2.0 * math.pi * time / self.spec.diurnal_period
+        )
+        for crowd in self.spec.flash_crowds:
+            if crowd.active(time):
+                factor *= crowd.multiplier
+        return factor
+
+    def rate_at(self, time: float) -> float:
+        return self.base_rate * self.modulation(time)
+
+    def schedule(self) -> PopulationSchedule:
+        """The :class:`~repro.core.generator.RateSchedule` driving the
+        open-loop producer."""
+        return PopulationSchedule(self)
+
+    # -- canonical renderings (for byte-identical tests) ----------------
+
+    def compile(
+        self, horizon: float, resolution: float = 1.0
+    ) -> tuple[tuple[float, float], ...]:
+        """Piecewise-constant ``(time, rate)`` steps sampling the curve
+        every ``resolution`` seconds up to ``horizon``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        steps = []
+        time = 0.0
+        while time < horizon:
+            steps.append((time, self.rate_at(time)))
+            time += resolution
+        return tuple(steps)
+
+    def schedule_bytes(self, horizon: float, resolution: float = 1.0) -> bytes:
+        """Canonical byte rendering of :meth:`compile` plus the head of
+        the per-user rate vector; equal seeds ⇒ equal bytes."""
+        steps = self.compile(horizon, resolution)
+        head = self.user_rates()[: min(1000, self.spec.users)]
+        lines = [f"{t:.9e} {r:.9e}" for t, r in steps]
+        lines.append("users " + " ".join(f"{r:.9e}" for r in head))
+        return "\n".join(lines).encode("ascii")

@@ -13,6 +13,12 @@ import enum
 import json
 import typing
 
+from repro.cluster.spec import (
+    ClusterSpec,
+    PopulationSpec,
+    cluster_spec_from_dict,
+    population_spec_from_dict,
+)
 from repro.errors import ConfigError
 from repro.faults import FaultPlan, ResiliencePolicy
 from repro.faults.plan import (
@@ -148,6 +154,15 @@ class ExperimentConfig:
     #: backoff retries, circuit breaking, shed/fallback degradation.
     #: None leaves scoring calls unwrapped (the paper's configuration).
     resilience: ResiliencePolicy | None = None
+    #: Multi-node scale-out (:mod:`repro.cluster`): place brokers, SPS
+    #: task slots, and external-serving replicas on simulated machines so
+    #: cross-node hops pay network cost. None — the default — keeps the
+    #: paper's single shared-LAN deployment, byte-identically.
+    cluster: ClusterSpec | None = None
+    #: Population-scale workload (:mod:`repro.cluster.workload`): derive
+    #: the offered rate from millions of heavy-tailed simulated users
+    #: instead of a fixed ``ir``. None keeps the Table 1 generators.
+    population: PopulationSpec | None = None
 
     def __post_init__(self) -> None:
         if self.sps not in SPS_NAMES:
@@ -291,6 +306,57 @@ class ExperimentConfig:
                     f"{EMBEDDED_TOOLS}, got {self.resilience.fallback!r}"
                 )
 
+        if self.cluster is not None:
+            if not self.use_broker:
+                raise ConfigError(
+                    "cluster mode routes events through the broker; it does "
+                    "not combine with use_broker=False (the standalone "
+                    "pipeline has no network to place)"
+                )
+            incompatible = {
+                "fault_plan": self.fault_plan is not None
+                and not self.fault_plan.empty,
+                "resilience": self.resilience is not None,
+                "autoscale": self.autoscale is not None,
+                "adaptive_batching": self.adaptive_batching is not None,
+                "checkpoint_interval": self.checkpoint_interval is not None,
+                "failure_times": bool(self.failure_times),
+                "operator_parallelism": self.operator_parallelism is not None,
+                "async_io": bool(self.async_io),
+                "scoring_window": bool(self.scoring_window),
+            }
+            clashing = sorted(name for name, on in incompatible.items() if on)
+            if clashing:
+                raise ConfigError(
+                    f"cluster mode does not combine with {', '.join(clashing)} "
+                    "yet: those features assume the single-host deployment"
+                )
+            per_node = (
+                self.cluster.tasks_per_node
+                if self.cluster.tasks_per_node is not None
+                else self.mp
+            )
+            total_tasks = per_node * self.cluster.nodes
+            if self.partitions < total_tasks:
+                raise ConfigError(
+                    f"a {self.cluster.nodes}-node cluster deploys "
+                    f"{total_tasks} source tasks but the input topic has "
+                    f"only {self.partitions} partitions; raise partitions "
+                    "(every source task needs at least one)"
+                )
+        if self.population is not None:
+            if self.workload is not WorkloadKind.OPEN_LOOP:
+                raise ConfigError(
+                    "population workloads drive the open loop; drop the "
+                    f"{self.workload.value!r} workload kind (the population "
+                    "itself provides the diurnal/burst shape)"
+                )
+            if self.ir is not None:
+                raise ConfigError(
+                    "population and ir both set the offered rate; use "
+                    "population.rate_scale to scale a population workload"
+                )
+
     @property
     def embedded(self) -> bool:
         """True when the serving tool runs inside the stream processor."""
@@ -306,9 +372,11 @@ class ExperimentConfig:
         return dataclasses.replace(self, **changes)
 
     def label(self) -> str:
-        """Short human-readable identifier, e.g. ``flink/onnx/ffnn``."""
+        """Short human-readable identifier, e.g. ``flink/onnx/ffnn``
+        (``flink/onnx/ffnn@3n`` on a 3-node cluster)."""
         suffix = "-gpu" if self.gpu else ""
-        return f"{self.sps}/{self.serving}{suffix}/{self.model}"
+        nodes = f"@{self.cluster.nodes}n" if self.cluster is not None else ""
+        return f"{self.sps}/{self.serving}{suffix}/{self.model}{nodes}"
 
     def canonical_dict(self) -> dict:
         """A JSON-ready dict where canonically-equal configs are equal.
@@ -390,4 +458,8 @@ def config_from_dict(record: dict) -> ExperimentConfig:
         data["fault_plan"] = _fault_plan_from_dict(data["fault_plan"])
     if data.get("resilience") is not None:
         data["resilience"] = ResiliencePolicy(**data["resilience"])
+    if data.get("cluster") is not None:
+        data["cluster"] = cluster_spec_from_dict(data["cluster"])
+    if data.get("population") is not None:
+        data["population"] = population_spec_from_dict(data["population"])
     return ExperimentConfig(**data)

@@ -36,6 +36,7 @@ class InputProducerBase:
         topic: str = "crayfish-input",
         direct: DirectInput | None = None,
         tracer: typing.Any = NO_TRACE,
+        node: str | None = None,
     ) -> None:
         if (cluster is None) == (direct is None):
             raise ValueError("provide exactly one of cluster/direct")
@@ -44,7 +45,11 @@ class InputProducerBase:
         self.topic = topic
         self.direct = direct
         self.tracer = tracer
-        self._producer = Producer(env, cluster) if cluster is not None else None
+        # ``node`` places the producer on a (simulated) machine in
+        # scale-out runs — the external driver host by default there.
+        self._producer = (
+            Producer(env, cluster, node=node) if cluster is not None else None
+        )
         self.batches_produced = 0
 
     def start(self) -> None:

@@ -91,8 +91,12 @@ class ExperimentRunner:
 
     # -- assembly ----------------------------------------------------------
 
-    def _schedule(self) -> RateSchedule | None:
+    def _schedule(self, seed: int) -> RateSchedule | None:
         config = self.config
+        if config.population is not None:
+            from repro.cluster.workload import PopulationWorkload
+
+            return PopulationWorkload(config.population, seed=seed).schedule()
         if config.workload is WorkloadKind.PERIODIC_BURSTS:
             # §4.1: 110% of sustainable throughput in bursts, 70% between.
             return PeriodicBursts(
@@ -113,7 +117,16 @@ class ExperimentRunner:
     def _scoring_parallelism(self) -> int:
         if self.config.operator_parallelism is not None:
             return self.config.operator_parallelism[1]
-        return self.config.mp
+        return self._engine_parallelism()
+
+    def _engine_parallelism(self) -> int:
+        """Task slots the engine deploys: ``mp`` on one host, the summed
+        per-node slots across a cluster."""
+        if self.config.cluster is None:
+            return self.config.mp
+        from repro.cluster.runtime import total_parallelism
+
+        return total_parallelism(self.config)
 
     def _fault_tolerance(self):
         """The engine's fault-tolerance plan, when checkpointing is on."""
@@ -163,39 +176,76 @@ class ExperimentRunner:
         env = Environment()
         tracer = make_tracer(env, trace)
         registry = make_registry(env, metrics)
-        rng = RandomStreams(config.seed if seed is None else seed)
+        run_seed = config.seed if seed is None else seed
+        rng = RandomStreams(run_seed)
         # Failure injection can legitimately replay batches to the sink.
         collector = MetricsCollector(env, strict=not config.fault_tolerant)
 
+        # Scale-out: topology + placement, derived once per run.
+        scale_out = None
+        if config.cluster is not None:
+            from repro.cluster.runtime import ClusterRuntime
+
+            scale_out = ClusterRuntime(
+                env, config, serving_name=self._serving_name(), metrics=registry
+            )
+
         # Transport: Kafka (default) or direct in-process (Fig. 13).
         if config.use_broker:
-            cluster = BrokerCluster(env, tracer=tracer, metrics=registry)
+            cluster = BrokerCluster(
+                env,
+                tracer=tracer,
+                metrics=registry,
+                placement=scale_out.placement if scale_out is not None else None,
+            )
             cluster.create_topic(INPUT_TOPIC, config.partitions)
             cluster.create_topic(OUTPUT_TOPIC, config.partitions)
-            input_gateway: typing.Any = BrokerInput(env, cluster, INPUT_TOPIC)
+            input_gateway: typing.Any = BrokerInput(
+                env,
+                cluster,
+                INPUT_TOPIC,
+                node_of_member=(
+                    scale_out.node_of_task if scale_out is not None else None
+                ),
+            )
             output_gateway: typing.Any = BrokerOutput(env, cluster, OUTPUT_TOPIC)
             producer_kwargs = {"cluster": cluster, "topic": INPUT_TOPIC}
+            if scale_out is not None:
+                # The workload generator runs outside the cluster, like
+                # the paper's dedicated input-producer VM.
+                producer_kwargs["node"] = scale_out.driver_node
         else:
             input_gateway = DirectInput(env)
             output_gateway = DirectOutput(env)
             producer_kwargs = {"direct": input_gateway}
 
-        tool = create_serving_tool(
-            self._serving_name(),
-            env,
-            config.model,
-            mp=self._scoring_parallelism(),
-            gpu=config.gpu,
-            rng=rng,
-            server_workers=config.server_workers,
+        protocol = (
             # Ray substitutes Ray Serve (HTTP-only) for external tools,
             # so a grpc/rest preference does not apply there.
-            protocol=(
-                config.protocol
-                if self._serving_name() == config.serving
-                else None
-            ),
+            config.protocol
+            if self._serving_name() == config.serving
+            else None
         )
+        tool = None
+        if scale_out is not None:
+            tool = scale_out.build_serving(
+                config.model,
+                gpu=config.gpu,
+                rng=rng,
+                server_workers=config.server_workers,
+                protocol=protocol,
+            )
+        if tool is None:
+            tool = create_serving_tool(
+                self._serving_name(),
+                env,
+                config.model,
+                mp=self._scoring_parallelism(),
+                gpu=config.gpu,
+                rng=rng,
+                server_workers=config.server_workers,
+                protocol=protocol,
+            )
         tool.tracer = tracer
         # Metrics install before batching/autoscaling: those layers pick
         # up the registry from ``tool.metrics`` when wiring their own
@@ -275,7 +325,7 @@ class ExperimentRunner:
             tool,
             input_gateway,
             output_gateway,
-            mp=config.mp,
+            mp=self._engine_parallelism(),
             on_complete=on_complete,
             output_values_per_point=model_info(config.model).output_values,
             operator_parallelism=config.operator_parallelism,
@@ -312,7 +362,7 @@ class ExperimentRunner:
 
         factory = BatchFactory(config.bsz, self._point_shape(), tracer=tracer)
         producer = self._build_producer(
-            env, factory, collector, tracer=tracer, **producer_kwargs
+            env, factory, collector, run_seed, tracer=tracer, **producer_kwargs
         )
 
         probe = None
@@ -423,9 +473,10 @@ class ExperimentRunner:
         env: Environment,
         factory: BatchFactory,
         metrics: MetricsCollector,
+        seed: int,
         **producer_kwargs: typing.Any,
     ) -> InputProducerBase:
-        schedule = self._schedule()
+        schedule = self._schedule(seed)
         if schedule is None:
             backlog = _SATURATION_BACKLOG.get(
                 self.config.sps, _DEFAULT_BACKLOG

@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.cluster.spec import ClusterSpec
 from repro.config import ExperimentConfig, SPS_NAMES, WorkloadKind
 from repro.errors import ConfigError
 
@@ -114,6 +115,60 @@ def _burst_recovery() -> MatrixSpec:
     )
 
 
+def _scaleout() -> MatrixSpec:
+    return MatrixSpec(
+        name="scaleout",
+        description=(
+            "saturating throughput over deployment size: two engines x "
+            "1-3 node clusters (PDSP-Bench-style scale-out)"
+        ),
+        base=ExperimentConfig(
+            sps="flink",
+            serving="onnx",
+            model="ffnn",
+            ir=None,
+            duration=1.5,
+            mp=2,
+            use_broker=True,
+            partitions=8,
+        ),
+        grid={
+            "sps": ("flink", "kafka_streams"),
+            "cluster": (
+                ClusterSpec(nodes=1),
+                ClusterSpec(nodes=2),
+                ClusterSpec(nodes=3),
+            ),
+        },
+        seeds=(0,),
+    )
+
+
+def _capacity_search() -> MatrixSpec:
+    return MatrixSpec(
+        name="capacity-search",
+        description=(
+            "fixed rate ladder over cluster sizes: the coarse grid behind "
+            "the bisecting `crayfish cluster capacity-search` driver"
+        ),
+        base=ExperimentConfig(
+            sps="flink",
+            serving="onnx",
+            model="ffnn",
+            ir=200.0,
+            duration=1.5,
+            mp=2,
+            use_broker=True,
+            partitions=8,
+        ),
+        grid={
+            "cluster": (ClusterSpec(nodes=1), ClusterSpec(nodes=2)),
+            "ir": (200.0, 800.0, 3200.0),
+        },
+        seeds=(0,),
+    )
+
+
 def _smoke() -> MatrixSpec:
     return MatrixSpec(
         name="smoke",
@@ -134,6 +189,8 @@ _PRESETS: dict[str, typing.Callable[[], MatrixSpec]] = {
     "throughput": _throughput,
     "scalability": _scalability,
     "burst-recovery": _burst_recovery,
+    "scaleout": _scaleout,
+    "capacity-search": _capacity_search,
     "smoke": _smoke,
 }
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import typing
 
 from repro import calibration as cal
-from repro.netsim import HttpChannel
+from repro.netsim import HttpChannel, RpcChannel
 from repro.serving.costs import ServingCostModel
 from repro.serving.external.server import ExternalServingService
 from repro.simul import Environment, Resource
@@ -21,8 +21,17 @@ from repro.simul import Environment, Resource
 class RayServeTool(ExternalServingService):
     """Ray Serve: HTTP ingress via one proxy, then replica workers."""
 
-    def __init__(self, env: Environment, costs: ServingCostModel) -> None:
-        super().__init__(env, costs, channel=HttpChannel())
+    def __init__(
+        self,
+        env: Environment,
+        costs: ServingCostModel,
+        channel: RpcChannel | None = None,
+    ) -> None:
+        # Always HTTP/JSON; ``channel`` only repoints the link (scale-out
+        # placement hands each replica the hop from the load balancer).
+        super().__init__(
+            env, costs, channel=channel if channel is not None else HttpChannel()
+        )
         self._proxy = Resource(env, capacity=1)
 
     def _pre_dispatch(self, ctx: typing.Any = None) -> typing.Generator:

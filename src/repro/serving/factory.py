@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import typing
+
 from repro import calibration as cal
 from repro.errors import ConfigError
 from repro.nn.zoo import model_info
@@ -30,6 +32,7 @@ def create_serving_tool(
     rng: RandomStreams | None = None,
     server_workers: int | None = None,
     protocol: str | None = None,
+    link: typing.Any = None,
 ) -> ServingTool:
     """Build the named serving tool bound to a model and parallelism.
 
@@ -38,7 +41,10 @@ def create_serving_tool(
     §9 flags non-uniform allocation as open work). ``protocol`` overrides
     the wire API for the gRPC servers: "rest" queries TF-Serving /
     TorchServe through their JSON REST endpoints instead (§3.4.3 notes
-    both exist; the paper used gRPC).
+    both exist; the paper used gRPC). ``link`` (a
+    :class:`~repro.netsim.Link`) repoints the external tool's RPC channel
+    at a specific network hop — scale-out placement hands each fleet
+    replica the link between the load balancer's node and its own.
     """
     try:
         tool_cls = _TOOL_CLASSES[name]
@@ -50,6 +56,8 @@ def create_serving_tool(
     is_external = name in ("tf_serving", "torchserve", "ray_serve")
     if server_workers is not None and not is_external:
         raise ConfigError("server_workers only applies to external serving tools")
+    if link is not None and not is_external:
+        raise ConfigError("link only applies to external serving tools")
     engine_parallelism = server_workers if (is_external and server_workers) else mp
     costs = ServingCostModel(
         profile=profile,
@@ -58,13 +66,29 @@ def create_serving_tool(
         gpu=gpu,
         rng=rng,
     )
-    if protocol is None:
+    if protocol is not None:
+        if protocol not in ("grpc", "rest"):
+            raise ConfigError(f"unknown protocol {protocol!r}; use 'grpc' or 'rest'")
+        if name not in ("tf_serving", "torchserve"):
+            raise ConfigError(
+                f"protocol selection applies to gRPC servers, not {name!r}"
+            )
+    if protocol is None and link is None:
         return tool_cls(env, costs)
-    if protocol not in ("grpc", "rest"):
-        raise ConfigError(f"unknown protocol {protocol!r}; use 'grpc' or 'rest'")
-    if name not in ("tf_serving", "torchserve"):
-        raise ConfigError(f"protocol selection applies to gRPC servers, not {name!r}")
+    channel = channel_for(name, protocol=protocol, link=link)
+    return tool_cls(env, costs, channel=channel)
+
+
+def channel_for(
+    name: str, protocol: str | None = None, link: typing.Any = None
+):
+    """The RPC channel class an external tool speaks, over ``link``.
+
+    TF-Serving and TorchServe default to gRPC (``protocol="rest"`` picks
+    their JSON REST endpoint); Ray Serve is HTTP-only.
+    """
     from repro.netsim import GrpcChannel, HttpChannel
 
-    channel = HttpChannel() if protocol == "rest" else GrpcChannel()
-    return tool_cls(env, costs, channel=channel)
+    if name == "ray_serve" or protocol == "rest":
+        return HttpChannel(link)
+    return GrpcChannel(link)

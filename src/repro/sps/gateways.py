@@ -95,21 +95,38 @@ class _BrokerSource(SourceHandle):
 
 
 class BrokerInput(InputGateway):
-    def __init__(self, env: Environment, cluster: BrokerCluster, topic: str) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        cluster: BrokerCluster,
+        topic: str,
+        node_of_member: typing.Callable[[int], str] | None = None,
+    ) -> None:
         self.env = env
         self.cluster = cluster
         self.topic = topic
+        #: Scale-out placement: maps a source-task index to the cluster
+        #: node it runs on, so its fetches pay that node's links. None
+        #: (the default) keeps the single shared-LAN cost model.
+        self.node_of_member = node_of_member
 
     def make_source(self, member: int, members: int) -> SourceHandle:
+        node = None if self.node_of_member is None else self.node_of_member(member)
         return _BrokerSource(
-            Consumer(self.env, self.cluster, self.topic, member, members)
+            Consumer(self.env, self.cluster, self.topic, member, members, node=node)
         )
 
 
 class BrokerOutput(OutputGateway):
-    def __init__(self, env: Environment, cluster: BrokerCluster, topic: str) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        cluster: BrokerCluster,
+        topic: str,
+        node: str | None = None,
+    ) -> None:
         self.env = env
-        self.producer = Producer(env, cluster)
+        self.producer = Producer(env, cluster, node=node)
         self.topic = topic
 
     def emit(self, batch: CrayfishDataBatch, nbytes: float) -> typing.Generator:

@@ -194,3 +194,30 @@ def bottleneck(tracer: Tracer, cutoff: float = 0.0) -> str | None:
     """The single most expensive stage, or None without completed records."""
     ranking = breakdown_table(tracer, cutoff=cutoff)
     return ranking[0].stage if ranking else None
+
+
+#: Node charged for span time carrying no ``node`` attribute (all of it,
+#: in single-host runs; driver/client-side stages in clustered runs).
+UNATTRIBUTED_NODE = "(unattributed)"
+
+
+def node_breakdown(tracer: Tracer, cutoff: float = 0.0) -> dict[str, float]:
+    """Summed span time per cluster node across completed records.
+
+    Scale-out components (:mod:`repro.cluster`) tag their spans with a
+    ``node`` attribute; this rolls raw span durations up by that tag so a
+    clustered run shows where simulated time was spent. Unlike the
+    attribution sweep above, concurrent spans both count — the result is
+    *occupancy* per node, not a tiling of end-to-end latency.
+    """
+    totals: dict[str, float] = {}
+    for trace_id in tracer.finished_trace_ids():
+        root = tracer.root(trace_id)
+        if root.end < cutoff:
+            continue
+        for span in tracer.spans(trace_id):
+            if span is root or span.end is None:
+                continue
+            node = span.attrs.get("node", UNATTRIBUTED_NODE)
+            totals[node] = totals.get(node, 0.0) + span.duration
+    return dict(sorted(totals.items()))

@@ -75,9 +75,9 @@ def test_injected_wall_clock_call_fails_a_sanitized_run():
     runner = ExperimentRunner(config)
     original = runner._schedule
 
-    def schedule_with_wall_clock():
+    def schedule_with_wall_clock(seed):
         time.time()  # the injected nondeterminism
-        return original()
+        return original(seed)
 
     runner._schedule = schedule_with_wall_clock
     with determinism_sanitizer():

@@ -1,0 +1,31 @@
+"""The old ``repro.broker.cluster`` import path keeps working.
+
+PR 6 renamed the broker-internal module to ``kafka_cluster`` so the new
+top-level ``repro.cluster`` package is unambiguous; the shim re-exports
+the same objects under the old name with a deprecation warning.
+"""
+
+import importlib
+import sys
+import warnings
+
+
+def test_old_import_path_warns_and_aliases():
+    sys.modules.pop("repro.broker.cluster", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.broker.cluster")
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), "importing repro.broker.cluster should warn"
+
+    from repro.broker import kafka_cluster
+
+    assert shim.BrokerCluster is kafka_cluster.BrokerCluster
+
+
+def test_package_export_is_the_new_module():
+    from repro.broker import BrokerCluster
+    from repro.broker.kafka_cluster import BrokerCluster as New
+
+    assert BrokerCluster is New

@@ -1,0 +1,162 @@
+"""Validation and lossless round-trips for the cluster config types."""
+
+import pytest
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    FlashCrowd,
+    PopulationSpec,
+    cluster_spec_from_dict,
+    population_spec_from_dict,
+)
+from repro.config import ExperimentConfig, config_from_dict
+from repro.errors import ConfigError
+
+
+# -- ClusterSpec ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"nodes": 0},
+        {"nodes": 2000},
+        {"cpus_per_node": 0},
+        {"racks": 0},
+        {"nodes": 2, "racks": 3},
+        {"tasks_per_node": 0},
+        {"replicas_per_node": 0},
+        {"rack_latency": -0.1},
+        {"lan_latency": -1.0},
+        {"bandwidth": 0.0},
+    ],
+)
+def test_cluster_spec_rejects(kwargs):
+    with pytest.raises(ConfigError):
+        ClusterSpec(**kwargs)
+
+
+def test_cluster_spec_compact_str():
+    assert str(ClusterSpec(nodes=3)) == "3n"
+    assert str(ClusterSpec(nodes=4, racks=2)) == "4n/2r"
+
+
+def test_cluster_spec_dict_round_trip():
+    spec = ClusterSpec(nodes=4, racks=2, tasks_per_node=3, bandwidth=2e8)
+    import dataclasses
+
+    assert cluster_spec_from_dict(dataclasses.asdict(spec)) == spec
+
+
+def test_cluster_spec_rejects_unknown_fields():
+    with pytest.raises(ConfigError, match="unknown cluster field"):
+        cluster_spec_from_dict({"nodes": 2, "cores": 8})
+
+
+# -- PopulationSpec ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"users": 0},
+        {"users": 200_000_000},
+        {"distribution": "pareto"},
+        {"zipf_exponent": 1.0},
+        {"sigma": -0.5},
+        {"events_per_user_per_day": 0.0},
+        {"diurnal_amplitude": 1.0},
+        {"diurnal_period": 0.0},
+        {"rate_scale": 0.0},
+        {
+            "flash_crowds": (
+                FlashCrowd(at=10.0, duration=1.0, multiplier=2.0),
+                FlashCrowd(at=5.0, duration=1.0, multiplier=2.0),
+            )
+        },
+    ],
+)
+def test_population_spec_rejects(kwargs):
+    with pytest.raises(ConfigError):
+        PopulationSpec(**kwargs)
+
+
+def test_flash_crowd_validation_and_window():
+    with pytest.raises(ConfigError):
+        FlashCrowd(at=-1.0, duration=1.0, multiplier=2.0)
+    with pytest.raises(ConfigError):
+        FlashCrowd(at=0.0, duration=0.0, multiplier=2.0)
+    with pytest.raises(ConfigError):
+        FlashCrowd(at=0.0, duration=1.0, multiplier=0.0)
+    crowd = FlashCrowd(at=2.0, duration=3.0, multiplier=4.0)
+    assert not crowd.active(1.99)
+    assert crowd.active(2.0)
+    assert crowd.active(4.99)
+    assert not crowd.active(5.0)
+
+
+def test_population_mean_rate():
+    spec = PopulationSpec(
+        users=86_400, events_per_user_per_day=2.0, rate_scale=3.0
+    )
+    assert spec.mean_rate == pytest.approx(86_400 * 2.0 / 86_400 * 3.0)
+
+
+def test_population_spec_rejects_unknown_fields():
+    with pytest.raises(ConfigError, match="unknown population field"):
+        population_spec_from_dict({"users": 10, "countries": 3})
+
+
+# -- ExperimentConfig integration ---------------------------------------
+
+
+def _clustered_config(**extra):
+    return ExperimentConfig(
+        sps="flink",
+        serving="onnx",
+        model="ffnn",
+        ir=50.0,
+        duration=1.0,
+        cluster=ClusterSpec(nodes=2, racks=2),
+        **extra,
+    )
+
+
+def test_config_round_trips_cluster_and_population():
+    config = ExperimentConfig(
+        sps="flink",
+        serving="tf_serving",
+        model="ffnn",
+        duration=1.0,
+        mp=2,
+        cluster=ClusterSpec(nodes=3, tasks_per_node=2, replicas_per_node=2),
+        population=PopulationSpec(
+            users=1000,
+            distribution="lognormal",
+            sigma=1.5,
+            diurnal_period=100.0,
+            flash_crowds=(FlashCrowd(at=1.0, duration=2.0, multiplier=3.0),),
+        ),
+    )
+    rebuilt = config_from_dict(config.canonical_dict())
+    assert rebuilt == config
+    assert rebuilt.canonical_json() == config.canonical_json()
+
+
+def test_cluster_requires_broker():
+    with pytest.raises(ConfigError, match="use_broker"):
+        _clustered_config(use_broker=False)
+
+
+def test_cluster_requires_enough_partitions():
+    with pytest.raises(ConfigError, match="partitions"):
+        _clustered_config(mp=4, partitions=4)
+
+
+def test_population_requires_open_loop_without_ir():
+    with pytest.raises(ConfigError, match="rate_scale"):
+        _clustered_config(population=PopulationSpec(users=10))
+
+
+def test_cluster_label_gets_node_suffix():
+    assert _clustered_config().label().endswith("@2n")

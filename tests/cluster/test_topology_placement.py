@@ -1,0 +1,156 @@
+"""Topology link resolution and deterministic placement."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.topology import (
+    DRIVER_NODE,
+    LOOPBACK_LATENCY,
+    RACK_LATENCY,
+    ClusterTopology,
+    NodeSpec,
+)
+from repro.cluster.placement import PlacementPlan
+from repro.errors import ConfigError
+
+
+def _topology(nodes=4, racks=2, cpus=16):
+    return ClusterTopology.from_spec(
+        ClusterSpec(nodes=nodes, racks=racks, cpus_per_node=cpus)
+    )
+
+
+# -- topology ------------------------------------------------------------
+
+
+def test_from_spec_names_and_racks_round_robin():
+    topo = _topology(nodes=5, racks=2)
+    assert topo.node_names == tuple(f"node-{i}" for i in range(5))
+    assert [topo.node(n).rack for n in topo.node_names] == [0, 1, 0, 1, 0]
+    assert topo.rack_count == 2
+
+
+def test_topology_rejects_duplicate_and_reserved_names():
+    with pytest.raises(ConfigError, match="duplicate"):
+        ClusterTopology([NodeSpec("a", 4, 0), NodeSpec("a", 4, 0)])
+    with pytest.raises(ConfigError, match="reserved"):
+        ClusterTopology([NodeSpec(DRIVER_NODE, 4, 0)])
+    with pytest.raises(ConfigError):
+        ClusterTopology([])
+
+
+def test_link_resolution_tiers():
+    topo = _topology(nodes=4, racks=2)
+    # same node -> loopback
+    assert topo.link_between("node-0", "node-0") is topo.loopback
+    # same rack (0 and 2), different node -> rack link
+    assert topo.link_between("node-0", "node-2") is topo.rack_link
+    # different racks -> lan
+    assert topo.link_between("node-0", "node-1") is topo.lan_link
+    # the driver always pays the lan, even "to itself"
+    assert topo.link_between(DRIVER_NODE, "node-0") is topo.lan_link
+    assert topo.link_between(DRIVER_NODE, DRIVER_NODE) is topo.lan_link
+    # unattributed endpoint -> typical internal hop
+    assert topo.link_between(None, "node-0") is topo.typical_internal_link()
+
+
+def test_link_latencies_are_ordered():
+    topo = _topology()
+    assert (
+        topo.loopback.base_latency
+        < topo.rack_link.base_latency
+        < topo.lan_link.base_latency
+    )
+    assert topo.loopback.base_latency == LOOPBACK_LATENCY
+    assert topo.rack_link.base_latency == RACK_LATENCY
+    assert topo.lan_link.base_latency == cal.NET_BASE_LATENCY
+
+
+def test_typical_internal_link_by_size():
+    topo0 = _topology(1, 1)
+    assert topo0.typical_internal_link() is topo0.loopback
+    topo1 = _topology(3, 1)
+    assert topo1.typical_internal_link() is topo1.rack_link
+    topo2 = _topology(4, 2)
+    assert topo2.typical_internal_link() is topo2.lan_link
+
+
+def test_spec_latency_overrides():
+    topo = ClusterTopology.from_spec(
+        ClusterSpec(
+            nodes=2, rack_latency=0.001, lan_latency=0.002, bandwidth=1e6
+        )
+    )
+    assert topo.rack_link.base_latency == 0.001
+    assert topo.lan_link.base_latency == 0.002
+    assert topo.lan_link.bandwidth == 1e6
+
+
+def test_unknown_node_lookup():
+    with pytest.raises(ConfigError, match="unknown node"):
+        _topology().node("node-99")
+
+
+# -- placement -----------------------------------------------------------
+
+
+def test_placement_round_robin_layout():
+    plan = PlacementPlan(_topology(nodes=2), tasks_per_node=2, replicas_per_node=2)
+    assert plan.broker_nodes == ("node-0", "node-1")
+    assert plan.task_nodes == ("node-0", "node-0", "node-1", "node-1")
+    assert plan.replica_nodes == ("node-0", "node-0", "node-1", "node-1")
+    assert plan.lb_node == "node-0"
+    assert plan.driver_node == DRIVER_NODE
+    assert plan.total_tasks == 4
+    assert plan.total_replicas == 4
+    assert plan.node_of_task(1) == "node-0"
+    assert plan.node_of_task(2) == "node-1"
+    assert plan.node_of_replica(3) == "node-1"
+
+
+def test_placement_broker_interface():
+    plan = PlacementPlan(_topology(nodes=2), tasks_per_node=1)
+    assert plan.broker_count == 2
+    assert plan.broker_index(5) == 1
+    assert plan.node_of_partition(4) == "node-0"
+    link = plan.link_to_partition(DRIVER_NODE, 0)
+    assert link is plan.topology.lan_link
+    assert plan.link_to_partition("node-0", 0) is plan.topology.loopback
+
+
+def test_placement_is_deterministic():
+    spec = ClusterSpec(nodes=3, racks=2, replicas_per_node=2)
+    a = PlacementPlan.from_spec(spec, base_tasks=2, external_serving=True)
+    b = PlacementPlan.from_spec(spec, base_tasks=2, external_serving=True)
+    assert a.task_nodes == b.task_nodes
+    assert a.replica_nodes == b.replica_nodes
+    assert a.counts_by_node() == b.counts_by_node()
+
+
+def test_placement_refuses_oversubscription():
+    topo = ClusterTopology.from_spec(ClusterSpec(nodes=2, cpus_per_node=4))
+    with pytest.raises(ConfigError, match="oversubscribes"):
+        PlacementPlan(topo, tasks_per_node=8)
+
+
+def test_embedded_serving_places_no_replicas():
+    plan = PlacementPlan.from_spec(
+        ClusterSpec(nodes=2, replicas_per_node=4),
+        base_tasks=1,
+        external_serving=False,
+    )
+    assert plan.total_replicas == 0
+    counts = plan.counts_by_node()
+    assert all(c["replicas"] == 0 for c in counts.values())
+    assert all(c["brokers"] == 1 for c in counts.values())
+
+
+def test_describe_mentions_every_node():
+    plan = PlacementPlan.from_spec(
+        ClusterSpec(nodes=2, replicas_per_node=1),
+        base_tasks=1,
+        external_serving=True,
+    )
+    text = plan.describe()
+    assert "node-0" in text and "node-1" in text and "lb" in text

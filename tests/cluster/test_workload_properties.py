@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the population workload.
+
+The generator's contract: per-user rates are a pure function of
+``(spec, seed)``, heavy-tail parameters shape the rate distribution the
+way they claim to, and equal seeds render byte-identical schedules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.spec import FlashCrowd, PopulationSpec
+from repro.cluster.workload import PopulationWorkload
+
+USERS = st.integers(min_value=1, max_value=5000)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+DISTS = st.sampled_from(["zipf", "lognormal"])
+
+
+@given(users=USERS, seed=SEEDS, dist=DISTS)
+@settings(max_examples=40, deadline=None)
+def test_user_rates_seed_deterministic(users, seed, dist):
+    spec = PopulationSpec(users=users, distribution=dist)
+    a = PopulationWorkload(spec, seed=seed).user_rates()
+    b = PopulationWorkload(spec, seed=seed).user_rates()
+    assert np.array_equal(a, b)
+    # heaviest-first, all positive, sums to the spec's aggregate rate
+    assert np.all(a[:-1] >= a[1:])
+    assert np.all(a > 0)
+    assert float(a.sum()) == pytest.approx(spec.mean_rate, rel=1e-9)
+
+
+@given(seed=SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_lognormal_rates_differ_across_seeds(seed):
+    spec = PopulationSpec(users=500, distribution="lognormal")
+    a = PopulationWorkload(spec, seed=seed).user_rates()
+    b = PopulationWorkload(spec, seed=seed + 1).user_rates()
+    assert not np.array_equal(a, b)
+
+
+@given(
+    exponent=st.floats(min_value=1.05, max_value=2.5),
+    steeper=st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_zipf_exponent_concentrates_the_head(exponent, steeper):
+    """A larger zipf exponent puts a larger share on the heaviest users."""
+    users = 10_000
+    shallow = PopulationWorkload(
+        PopulationSpec(users=users, zipf_exponent=exponent)
+    )
+    steep = PopulationWorkload(
+        PopulationSpec(users=users, zipf_exponent=exponent + steeper)
+    )
+    assert steep.head_share(0.01) > shallow.head_share(0.01)
+
+
+@given(sigma=st.floats(min_value=0.5, max_value=2.0), seed=SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_lognormal_sigma_widens_the_tail(sigma, seed):
+    users = 5000
+    narrow = PopulationWorkload(
+        PopulationSpec(users=users, distribution="lognormal", sigma=sigma * 0.5),
+        seed=seed,
+    )
+    wide = PopulationWorkload(
+        PopulationSpec(users=users, distribution="lognormal", sigma=sigma * 1.5),
+        seed=seed,
+    )
+    assert wide.head_share(0.01) > narrow.head_share(0.01)
+
+
+@given(users=USERS, seed=SEEDS, dist=DISTS)
+@settings(max_examples=30, deadline=None)
+def test_same_seed_schedules_byte_identical(users, seed, dist):
+    spec = PopulationSpec(
+        users=users,
+        distribution=dist,
+        diurnal_period=50.0,
+        flash_crowds=(FlashCrowd(at=5.0, duration=3.0, multiplier=4.0),),
+    )
+    a = PopulationWorkload(spec, seed=seed).schedule_bytes(20.0, resolution=0.5)
+    b = PopulationWorkload(spec, seed=seed).schedule_bytes(20.0, resolution=0.5)
+    assert a == b
+
+
+def test_different_seed_schedules_differ_for_lognormal():
+    spec = PopulationSpec(users=200, distribution="lognormal")
+    a = PopulationWorkload(spec, seed=0).schedule_bytes(5.0)
+    b = PopulationWorkload(spec, seed=1).schedule_bytes(5.0)
+    assert a != b
+
+
+@given(
+    amplitude=st.floats(min_value=0.0, max_value=0.9),
+    time=st.floats(min_value=0.0, max_value=1e4),
+)
+@settings(max_examples=40, deadline=None)
+def test_diurnal_modulation_bounded(amplitude, time):
+    spec = PopulationSpec(users=100, diurnal_amplitude=amplitude)
+    workload = PopulationWorkload(spec)
+    factor = workload.modulation(time)
+    eps = 1e-12
+    assert 1.0 - amplitude - eps <= factor <= 1.0 + amplitude + eps
+    assert workload.rate_at(time) == pytest.approx(
+        spec.mean_rate * factor
+    )
+
+
+def test_flash_crowd_multiplies_only_inside_window():
+    spec = PopulationSpec(
+        users=100,
+        diurnal_amplitude=0.0,
+        flash_crowds=(FlashCrowd(at=10.0, duration=5.0, multiplier=3.0),),
+    )
+    workload = PopulationWorkload(spec)
+    assert workload.modulation(9.9) == pytest.approx(1.0)
+    assert workload.modulation(12.0) == pytest.approx(3.0)
+    assert workload.modulation(15.0) == pytest.approx(1.0)
+
+
+def test_compile_rejects_bad_windows():
+    workload = PopulationWorkload(PopulationSpec(users=10))
+    with pytest.raises(ValueError):
+        workload.compile(0.0)
+    with pytest.raises(ValueError):
+        workload.compile(1.0, resolution=0.0)

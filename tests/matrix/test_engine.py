@@ -94,7 +94,8 @@ def test_report_results_flatten_in_task_order():
 
 def test_presets_build_valid_configs():
     assert preset_names() == (
-        "burst-recovery", "latency", "scalability", "smoke", "throughput"
+        "burst-recovery", "capacity-search", "latency", "scalability",
+        "scaleout", "smoke", "throughput",
     )
     for name in preset_names():
         spec = preset(name)
