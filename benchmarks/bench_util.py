@@ -24,6 +24,16 @@ _BENCH_JOBS = int(os.environ.get("CRAYFISH_BENCH_JOBS", "1"))
 _BENCH_CACHE = ResultCache(_BENCH_CACHE_DIR) if _BENCH_CACHE_DIR else None
 
 
+def _store_path() -> str | None:
+    """CRAYFISH_STORE, read per call so tests can flip it at runtime.
+
+    When set, the metrics benchmark records its telemetry baselines into
+    the results database (and reads them back from there), on top of the
+    BENCH_metrics.json file it always maintains.
+    """
+    return os.environ.get("CRAYFISH_STORE") or None
+
+
 def replicated(config: ExperimentConfig, seeds=SEEDS):
     """Replicated results via the matrix engine (parallel/cached aware)."""
     return run_replicated_cached(
@@ -66,21 +76,14 @@ def telemetry_summary(result) -> dict:
     """
     if result.telemetry is None:
         raise ValueError("run the experiment with metrics on first")
-    series = {}
-    for name, ts in sorted(result.telemetry.series().items()):
-        values = list(ts.values)
-        series[name] = {
-            "last": values[-1],
-            "peak": max(values),
-            "mean": statistics.fmean(values),
-            "samples": len(values),
-        }
+    from repro.metrics.export import series_summaries
+
     return {
         "throughput": result.throughput,
         "latency_mean": result.latency.mean,
         "latency_p95": result.latency.p95,
         "completed": result.completed,
-        "series": series,
+        "series": series_summaries(result.telemetry.scraper),
     }
 
 
@@ -102,4 +105,44 @@ def record_bench_metrics(
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    store_path = _store_path()
+    if store_path:
+        from repro.store import ResultStore
+        from repro.store.importers import record_bench_entries
+
+        with ResultStore(store_path) as store:
+            record_bench_entries(store, entries, source="bench")
     return payload
+
+
+def load_bench_baseline(path: str = BENCH_METRICS_PATH) -> dict[str, dict]:
+    """The telemetry regression baseline, one entry per config label.
+
+    Reads the latest stored ``bench`` recording per label from the
+    results database when ``CRAYFISH_STORE`` is set (so the baseline
+    tracks history, not just the last committed file), and falls back to
+    ``BENCH_metrics.json`` — always the answer when no store is
+    configured or the store has no bench rows yet.
+    """
+    store_path = _store_path()
+    if store_path and os.path.exists(store_path):
+        from repro.store import HistoryFilter, ResultStore, history
+
+        with ResultStore(store_path) as store:
+            entries: dict[str, dict] = {}
+            for row in history(store, HistoryFilter(kind="bench")):
+                if row["label"] in entries:
+                    continue  # rows are newest first; keep the latest
+                entries[row["label"]] = {
+                    "throughput": row["throughput"],
+                    "latency_mean": row["latency_mean"],
+                    "latency_p95": row["latency_p95"],
+                    "completed": row["completed"],
+                    "series": store.series_of(row["id"]),
+                }
+            if entries:
+                return entries
+    if os.path.exists(path):
+        with open(path) as handle:
+            return json.load(handle)
+    return {}

@@ -7,7 +7,12 @@ regressions the headline numbers hide: a queue whose peak doubled, lag
 that stopped draining, an autoscaler that started flapping.
 """
 
-from bench_util import record_bench_metrics, table, telemetry_summary
+from bench_util import (
+    load_bench_baseline,
+    record_bench_metrics,
+    table,
+    telemetry_summary,
+)
 
 from repro.config import ExperimentConfig
 from repro.core.runner import ExperimentRunner
@@ -29,8 +34,37 @@ def test_metrics_telemetry(once, record_table):
             entries[config.label()] = telemetry_summary(result)
         return entries
 
+    # Baseline comes through the results store when CRAYFISH_STORE is
+    # set (latest recorded bench rows), else from BENCH_metrics.json —
+    # read *before* recording so we compare against the prior revision.
+    baseline = load_bench_baseline()
     entries = once(run_all)
     record_bench_metrics(entries)
+
+    drift_rows = []
+    for label, summary in entries.items():
+        prior = baseline.get(label)
+        if not prior or not prior.get("throughput"):
+            drift_rows.append((label, "-", "new entry"))
+            continue
+        change = (
+            summary["throughput"] - prior["throughput"]
+        ) / prior["throughput"]
+        drift_rows.append(
+            (
+                label,
+                f"{change * 100:+.1f}%",
+                "ok" if abs(change) <= 0.15 else "DRIFT",
+            )
+        )
+    record_table(
+        "metrics_telemetry_drift",
+        table(
+            "Throughput drift vs recorded baseline",
+            ["config", "throughput change", "verdict"],
+            drift_rows,
+        ),
+    )
 
     rows = []
     for label, summary in entries.items():

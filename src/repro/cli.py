@@ -12,6 +12,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import math
+import os
 import pathlib
 import sys
 import typing
@@ -120,6 +123,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     print(format_table(["metric", "value"], rows, title=config.label()))
     _maybe_dump(args, [result])
+    # Recording happens dead last — after the simulation and every
+    # export — so the sanitizer and determinism checks never see it.
+    _record_results(_open_store(args), [result], kind="run")
     return 0
 
 
@@ -148,6 +154,101 @@ def _open_cache(args: argparse.Namespace):
     return ResultCache(args.cache_dir)
 
 
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    """Results-database recording knob shared by run-producing commands."""
+    parser.add_argument(
+        "--store", default=None, dest="store_path", metavar="DB",
+        help="record results into this SQLite results database "
+        "(default: $CRAYFISH_STORE when set; recording stays off otherwise)",
+    )
+
+
+def _open_store(args: argparse.Namespace):
+    """The results store selected by ``--store`` / CRAYFISH_STORE, or None.
+
+    Recording is strictly opt-in: with neither the flag nor the
+    environment variable set this returns None, and every export stays
+    byte-identical to a build without the store subsystem.
+    """
+    from repro.store import open_store
+
+    path = getattr(args, "store_path", None) or os.environ.get(
+        "CRAYFISH_STORE"
+    )
+    return open_store(path)
+
+
+def _record_results(store, results, kind: str, label: str | None = None) -> None:
+    """Record finished results and say where they went; closes the store."""
+    if store is None:
+        return
+    with store:
+        for result in results:
+            store.record_result(result, kind=kind, label=label)
+    noun = "run" if len(results) == 1 else "runs"
+    print(f"recorded {len(results)} {noun} into {store.path}")
+
+
+def _add_db_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", default=None,
+        help="results database path "
+        "(default: $CRAYFISH_STORE or .crayfish-store.sqlite)",
+    )
+
+
+def _db_path(args: argparse.Namespace) -> str:
+    from repro.store import DEFAULT_STORE_PATH
+
+    return (
+        args.db or os.environ.get("CRAYFISH_STORE") or DEFAULT_STORE_PATH
+    )
+
+
+def _require_db(args: argparse.Namespace) -> str | None:
+    """The query commands need an existing database; None + error if absent."""
+    path = _db_path(args)
+    if not os.path.exists(path):
+        print(
+            f"error: no results database at {path} — record runs with "
+            "--store or backfill one with `crayfish store import`",
+            file=sys.stderr,
+        )
+        return None
+    return path
+
+
+def _add_filter_args(parser: argparse.ArgumentParser) -> None:
+    """Row filters shared by ``history``/``trend``/``pareto``."""
+    _add_db_arg(parser)
+    parser.add_argument("--sps", default=None, choices=SPS_NAMES)
+    parser.add_argument("--serving", default=None, choices=SERVING_TOOLS)
+    parser.add_argument("--model", default=None, choices=MODEL_NAMES)
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument(
+        "--kind", default=None,
+        help="run kind: run, sweep, matrix, capacity, chaos, bench, golden",
+    )
+    parser.add_argument("--limit", type=int, default=None)
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable JSON output instead of the table",
+    )
+
+
+def _history_filter(args: argparse.Namespace):
+    from repro.store import HistoryFilter
+
+    return HistoryFilter(
+        sps=args.sps,
+        serving=args.serving,
+        model=args.model,
+        nodes=args.nodes,
+        kind=args.kind,
+        limit=args.limit,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweep import sweep
     from repro.errors import ConfigError
@@ -166,6 +267,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     cache = _open_cache(args)
+    store = _open_store(args)
     try:
         points = sweep(
             base,
@@ -174,10 +276,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             hook=progress,
             jobs=args.jobs,
             cache=cache,
+            store=store,
         )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if store is not None:
+            store.close()
     print(
         format_table(
             [args.field, "events/s", "mean latency (ms)"],
@@ -187,16 +293,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if cache is not None:
         print(f"cache {args.cache_dir}: {cache.stats.summary()}")
+    if store is not None:
+        print(f"recorded sweep into {store.path}")
     _maybe_dump(args, [r for point in points for r in point.results])
     return 0
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
-    from repro.core.results_io import save_records_jsonl, save_results_csv
+    from repro.core.results_io import (
+        save_records_jsonl,
+        save_results_csv,
+        save_run_meta,
+    )
     from repro.errors import ConfigError
     from repro.matrix import (
         format_matrix_table,
         grid_points,
+        matrix_meta,
         preset,
         preset_names,
         run_matrix,
@@ -237,6 +350,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             f"{format_ms(latency)} ms mean latency"
         )
 
+    store = _open_store(args)
     try:
         report = run_matrix(
             base,
@@ -245,10 +359,15 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache=cache,
             hook=progress,
+            store=store,
+            store_kind="matrix",
         )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if store is not None:
+            store.close()
     print()
     print(
         format_matrix_table(
@@ -265,11 +384,19 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             f"cache {args.cache_dir}: {cache.stats.summary()} "
             f"[code fingerprint {cache.fingerprint}]"
         )
+    if store is not None:
+        print(f"recorded matrix into {store.path}")
     _export_artifact(
         args.jsonl,
         lambda p: save_records_jsonl(report.records, p),
         "result records JSONL",
     )
+    if args.jsonl:
+        # Execution metadata (incl. cache hit/miss/invalidation stats)
+        # rides in a sidecar: the record lines must stay byte-identical
+        # between cold and warm runs, the cache traffic cannot.
+        sidecar = save_run_meta(args.jsonl, matrix_meta(report, spec.grid))
+        print(f"matrix metadata written to {sidecar}")
     _export_artifact(
         args.csv,
         lambda p: save_results_csv(report.results, p),
@@ -489,6 +616,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     )
     _maybe_dump(args, [outcome.baseline, outcome.faulted])
+    _record_results(
+        _open_store(args), [outcome.baseline, outcome.faulted], kind="chaos"
+    )
     return 0
 
 
@@ -659,6 +789,7 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
         print()
         print(plan.describe())
     _maybe_dump(args, [result])
+    _record_results(_open_store(args), [result], kind="cluster")
     return 0
 
 
@@ -685,6 +816,7 @@ def _cmd_cluster_capacity(args: argparse.Namespace) -> int:
             f"sustainable after {len(result.probes)} probes"
         )
 
+    store = _open_store(args)
     try:
         config = _cluster_config(args, ir=None)
         curve = capacity_curve(
@@ -699,10 +831,14 @@ def _cmd_cluster_capacity(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache=cache,
             hook=probe_progress if args.verbose else None,
+            store=store,
         )
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if store is not None:
+            store.close()
     rows = [
         (nodes, format_rate(result.capacity), len(result.probes))
         for nodes, result in curve.points
@@ -726,6 +862,8 @@ def _cmd_cluster_capacity(args: argparse.Namespace) -> int:
     print(verdict)
     if cache is not None:
         print(f"cache {args.cache_dir}: {cache.stats.summary()}")
+    if store is not None:
+        print(f"recorded capacity search into {store.path}")
     return 0 if curve.monotonic else 1
 
 
@@ -810,6 +948,231 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_import(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+    from repro.store.importers import import_all
+
+    path = _db_path(args)
+    with ResultStore(path) as store:
+
+        def progress(name, partial):
+            print(f"  {name}: {partial.summary()}")
+
+        report = import_all(store, args.root, hook=progress)
+        counts = store.counts()
+    print(f"import complete: {report.summary()}")
+    print(
+        f"store {path}: {counts['runs']} run(s), "
+        f"{counts['sweeps']} sweep(s), {counts['series']} series row(s), "
+        f"{counts['artifacts']} artifact(s)"
+    )
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    from repro.store import SCHEMA_VERSION, ResultStore
+
+    path = _require_db(args)
+    if path is None:
+        return 2
+    with ResultStore(path) as store:
+        counts = store.counts()
+        rows = [
+            ("schema version", f"{store.schema_version} (build {SCHEMA_VERSION})"),
+            ("code fingerprint", store.fingerprint),
+            ("git revision", store.git_rev or "-"),
+        ]
+        rows.extend((table, count) for table, count in counts.items())
+    print(format_table(["field", "value"], rows, title=f"results store {path}"))
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore, format_history, history
+
+    path = _require_db(args)
+    if path is None:
+        return 2
+    with ResultStore(path) as store:
+        rows = history(store, _history_filter(args))
+    if args.as_json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(format_history(rows, title=f"run history ({path})"))
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.store import ResultStore, format_trends, trend
+
+    path = _require_db(args)
+    if path is None:
+        return 2
+    try:
+        with ResultStore(path) as store:
+            series = trend(
+                store,
+                args.metric,
+                _history_filter(args),
+                min_points=args.min_points,
+            )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "slot_id": s.slot_id,
+                        "label": s.label,
+                        "seed": s.seed,
+                        "metric": s.metric,
+                        "points": [list(point) for point in s.points],
+                    }
+                    for s in series
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_trends(series, title=f"{args.metric} trend ({path})"))
+    return 0
+
+
+def _regress_current(result, slowdown: float) -> dict[str, float | None]:
+    """The measured metric values the regression gate compares.
+
+    ``slowdown`` > 1 synthetically degrades them (throughput divided,
+    latencies multiplied) — the ``--self-test-slowdown`` proof that the
+    gate actually fires. NaN (no completions) maps to None, which skips
+    the metric.
+    """
+
+    def clean(value):
+        return None if value is None or math.isnan(value) else value
+
+    current = {
+        "throughput": clean(result.throughput),
+        "latency_mean": clean(result.latency.mean),
+        "latency_p95": clean(result.latency.p95),
+        "latency_p99": clean(result.latency.p99),
+    }
+    if slowdown != 1.0:
+        for metric, value in current.items():
+            if value is None:
+                continue
+            current[metric] = (
+                value / slowdown if metric == "throughput" else value * slowdown
+            )
+    return current
+
+
+def _regress_thresholds(args: argparse.Namespace) -> dict[str, float]:
+    from repro.errors import ConfigError
+    from repro.store import DEFAULT_THRESHOLDS
+    from repro.store.queries import validate_metric
+
+    thresholds = dict(DEFAULT_THRESHOLDS)
+    for text in args.thresholds:
+        metric, sep, value = text.partition("=")
+        if not sep:
+            raise ConfigError(
+                f"--threshold wants METRIC=FRACTION, got {text!r}"
+            )
+        thresholds[validate_metric(metric)] = float(value)
+    return thresholds
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    """Run the configured experiment and gate it on the stored baseline."""
+    from repro.errors import ConfigError
+    from repro.store import (
+        ResultStore,
+        compare_to_baseline,
+        format_regression,
+        slot_id_of,
+    )
+
+    try:
+        thresholds = _regress_thresholds(args)
+        config = _config_from(args, ir=args.ir)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_experiment(config, seed=args.seed)
+    current = _regress_current(result, args.self_test_slowdown)
+    slot = slot_id_of(config.canonical_dict(), args.seed)
+    # Recording the degraded self-test values would poison the baseline.
+    may_record = args.self_test_slowdown == 1.0 and not args.no_record
+    with ResultStore(_db_path(args)) as store:
+        verdict = compare_to_baseline(
+            store, slot, config.label(), current, thresholds
+        )
+        print(format_regression(verdict))
+        if not verdict.has_baseline:
+            if may_record:
+                store.record_result(result, seed=args.seed, kind="run")
+            return 0
+        if verdict.ok:
+            if may_record:
+                store.record_result(result, seed=args.seed, kind="run")
+                print(f"pass: recorded as the new baseline in {store.path}")
+            return 0
+        if args.record_anyway and may_record:
+            store.record_result(result, seed=args.seed, kind="run")
+            print(
+                "REGRESSION recorded anyway (--record-anyway): this run is "
+                "now the baseline"
+            )
+            return 0
+    regressed = ", ".join(d.metric for d in verdict.regressed)
+    print(f"REGRESSION in {regressed} — run not recorded", file=sys.stderr)
+    return 1
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore, format_pareto, pareto_frontier
+
+    path = _require_db(args)
+    if path is None:
+        return 2
+    with ResultStore(path) as store:
+        points = pareto_frontier(
+            store, _history_filter(args), latency_metric=args.latency_metric
+        )
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "run_id": p.run_id,
+                        "slot_id": p.slot_id,
+                        "label": p.label,
+                        "seed": p.seed,
+                        "latency": p.latency,
+                        "throughput": p.throughput,
+                        "cost": p.cost,
+                        "on_frontier": p.on_frontier,
+                    }
+                    for p in points
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            format_pareto(
+                points,
+                title=f"latency/throughput/cost frontier ({path})",
+            )
+        )
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print(format_table(["kind", "names"], [
         ("stream processors", ", ".join(SPS_NAMES)),
@@ -835,6 +1198,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the determinism sanitizer: wall-clock and "
         "global-RNG calls raise instead of corrupting results",
     )
+    _add_store_args(run_cmd)
     run_cmd.set_defaults(func=_cmd_run)
 
     sweep_cmd = commands.add_parser("sweep", help="sweep one config field")
@@ -845,6 +1209,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--values", default="1,2,4,8,16", help="comma-separated integer values"
     )
     _add_matrix_exec_args(sweep_cmd)
+    _add_store_args(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     matrix_cmd = commands.add_parser(
@@ -883,6 +1248,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the result(s) as JSON to this path",
     )
     _add_matrix_exec_args(matrix_cmd)
+    _add_store_args(matrix_cmd)
     matrix_cmd.set_defaults(func=_cmd_matrix)
 
     lat_cmd = commands.add_parser("latency", help="closed-loop latency")
@@ -994,6 +1360,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resilience", action="store_true", dest="no_resilience",
         help="drop the client resilience layer (failed scores are shed)",
     )
+    _add_store_args(chaos_cmd)
     chaos_cmd.set_defaults(func=_cmd_chaos)
 
     cluster_cmd = commands.add_parser(
@@ -1019,6 +1386,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--placement", action="store_true",
         help="also print the node placement plan",
     )
+    _add_store_args(cluster_run)
     cluster_run.set_defaults(func=_cmd_cluster_run)
 
     cluster_cap = cluster_sub.add_parser(
@@ -1061,6 +1429,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every probe, not just per-size results",
     )
     _add_matrix_exec_args(cluster_cap)
+    _add_store_args(cluster_cap)
     cluster_cap.set_defaults(func=_cmd_cluster_capacity)
 
     lint_cmd = commands.add_parser(
@@ -1122,6 +1491,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the runtime sanitizer during the paired runs",
     )
     verify_cmd.set_defaults(func=_cmd_verify_determinism)
+
+    store_cmd = commands.add_parser(
+        "store", help="results database maintenance (import, info)"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_import = store_sub.add_parser(
+        "import",
+        help="backfill history from committed artifacts "
+        "(BENCH_metrics.json, golden files, benchmarks/results)",
+    )
+    _add_db_arg(store_import)
+    store_import.add_argument(
+        "--root", default=".", help="repository root to scan for artifacts"
+    )
+    store_import.set_defaults(func=_cmd_store_import)
+    store_info = store_sub.add_parser(
+        "info", help="schema version, provenance stamps, and row counts"
+    )
+    _add_db_arg(store_info)
+    store_info.set_defaults(func=_cmd_store_info)
+
+    history_cmd = commands.add_parser(
+        "history", help="stored run history, newest first"
+    )
+    _add_filter_args(history_cmd)
+    history_cmd.set_defaults(func=_cmd_history)
+
+    trend_cmd = commands.add_parser(
+        "trend",
+        help="per-configuration metric trajectories across revisions",
+    )
+    _add_filter_args(trend_cmd)
+    trend_cmd.add_argument(
+        "--metric", default="throughput",
+        help="metric to trend: throughput, latency_mean, latency_p50/p95/"
+        "p99/p999, completed, cost_proxy",
+    )
+    trend_cmd.add_argument(
+        "--min-points", type=int, default=2, dest="min_points",
+        help="hide slots with fewer recordings than this",
+    )
+    trend_cmd.set_defaults(func=_cmd_trend)
+
+    regress_cmd = commands.add_parser(
+        "regress",
+        help="run one experiment and gate it against the stored baseline "
+        "(exit 1 on regression — the CI gate)",
+    )
+    _add_sut_args(regress_cmd)
+    regress_cmd.add_argument(
+        "--ir", type=float, default=None, help="input rate; omit to saturate"
+    )
+    _add_db_arg(regress_cmd)
+    regress_cmd.add_argument(
+        "--threshold", action="append", default=[], dest="thresholds",
+        metavar="METRIC=FRACTION",
+        help="override a relative threshold, e.g. throughput=0.10 "
+        "(repeatable)",
+    )
+    regress_cmd.add_argument(
+        "--self-test-slowdown", type=float, default=1.0,
+        dest="self_test_slowdown", metavar="FACTOR",
+        help="synthetically degrade the measured metrics by FACTOR to "
+        "prove the gate fires (the degraded run is never recorded)",
+    )
+    regress_cmd.add_argument(
+        "--no-record", action="store_true", dest="no_record",
+        help="compare only; never record this run into the store",
+    )
+    regress_cmd.add_argument(
+        "--record-anyway", action="store_true", dest="record_anyway",
+        help="record the run as the new baseline even if it regressed "
+        "(bless an intentional change)",
+    )
+    regress_cmd.set_defaults(func=_cmd_regress)
+
+    pareto_cmd = commands.add_parser(
+        "pareto",
+        help="latency/throughput/cost frontier over stored configurations",
+    )
+    _add_filter_args(pareto_cmd)
+    pareto_cmd.add_argument(
+        "--latency-metric", default="latency_p95", dest="latency_metric",
+        choices=(
+            "latency_mean", "latency_p50", "latency_p95",
+            "latency_p99", "latency_p999",
+        ),
+        help="which latency percentile forms the latency axis",
+    )
+    pareto_cmd.set_defaults(func=_cmd_pareto)
 
     list_cmd = commands.add_parser("list", help="registered components")
     list_cmd.set_defaults(func=_cmd_list)

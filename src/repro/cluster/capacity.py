@@ -119,6 +119,7 @@ def search_capacity(
     jobs: int = 1,
     cache: typing.Any = None,
     hook: typing.Callable[[CapacityPoint], None] | None = None,
+    store: typing.Any = None,
 ) -> CapacityResult:
     """Binary-search the highest offered rate ``config`` sustains.
 
@@ -127,6 +128,11 @@ def search_capacity(
     relative width drops under ``tolerance``. ``hook`` observes each
     probe (progress printing). The returned capacity is the highest
     *actually probed and sustained* rate — a conservative lower bound.
+
+    ``store`` (a :class:`repro.store.ResultStore`) records every probe
+    run under one ``capacity`` sweep whose metadata carries the found
+    capacity and the probe trajectory. Probe configs differ in offered
+    rate, so each probe owns its own content-addressed slot.
     """
     if slo is None:
         slo = SloPolicy()
@@ -138,11 +144,21 @@ def search_capacity(
         raise ConfigError(f"max_probes must be >= 2, got {max_probes}")
 
     probes: list[CapacityPoint] = []
+    sweep_id = None
+    if store is not None:
+        sweep_id = store.record_sweep(
+            "capacity", config.label(), {"status": "searching"}
+        )
 
     def probe(rate: float) -> bool:
         results = run_replicated(
             _at_rate(config, rate), seeds=seeds, jobs=jobs, cache=cache
         )
+        if store is not None:
+            for seed, result in zip(seeds, results):
+                store.record_result(
+                    result, seed=seed, kind="capacity", sweep_id=sweep_id
+                )
         point = CapacityPoint(
             rate=rate,
             sustained=slo.satisfied(rate, results),
@@ -172,7 +188,18 @@ def search_capacity(
                 low = mid
             else:
                 high = mid
-    return CapacityResult(config=config, capacity=low, probes=tuple(probes))
+    result = CapacityResult(config=config, capacity=low, probes=tuple(probes))
+    if store is not None:
+        store.update_sweep_meta(
+            sweep_id,
+            {
+                "capacity": result.capacity,
+                "probes": [dataclasses.asdict(p) for p in result.probes],
+                "seeds": list(seeds),
+                "slo": dataclasses.asdict(slo),
+            },
+        )
+    return result
 
 
 def capacity_curve(
@@ -187,7 +214,8 @@ def capacity_curve(
     ``config.cluster`` is re-shaped to each entry of ``node_counts``
     (racks clamped so they never exceed the node count); everything else
     is inherited. ``size_hook`` observes each completed size's result
-    (progress printing); per-probe ``hook`` passes through to
+    (progress printing); per-probe ``hook`` — and ``store``, which
+    records one ``capacity`` sweep per deployment size — pass through to
     :func:`search_capacity`. The acceptance check of the scale-out
     reproduction is :attr:`CapacityCurve.monotonic` over 1 → 2 → 4 nodes.
     """

@@ -14,6 +14,7 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
+import os
 import typing
 
 from repro.config import config_from_dict
@@ -129,6 +130,36 @@ def save_records_jsonl(records: typing.Sequence[dict], path: str) -> None:
                 json.dumps(record, sort_keys=True, separators=(",", ":"))
             )
             handle.write("\n")
+
+
+def meta_sidecar_path(path: str) -> str:
+    """The metadata sidecar next to an export (``x.jsonl`` → ``x.meta.json``)."""
+    root, __ = os.path.splitext(path)
+    return root + ".meta.json"
+
+
+def save_run_meta(path: str, meta: dict) -> str:
+    """Write execution metadata as the sidecar of the export at ``path``.
+
+    Cache statistics, job counts, and other run-of-the-run facts must
+    not live in the record lines — a cache-warm matrix and a cold one
+    export byte-identical records but different cache traffic — so they
+    go in a sibling ``.meta.json``. Returns the sidecar path.
+    """
+    sidecar = meta_sidecar_path(path)
+    with open(sidecar, "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return sidecar
+
+
+def load_run_meta(path: str) -> dict:
+    """Read the metadata sidecar for the export at ``path``."""
+    with open(meta_sidecar_path(path)) as handle:
+        meta = json.load(handle)
+    if not isinstance(meta, dict):
+        raise ValueError(f"{path!r} sidecar does not contain metadata")
+    return meta
 
 
 def load_records_jsonl(path: str) -> list[dict]:

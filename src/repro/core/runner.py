@@ -491,9 +491,23 @@ class ExperimentRunner:
         return PacedProducer(env, factory, schedule=schedule, **producer_kwargs)
 
 
-def run_experiment(config: ExperimentConfig, seed: int | None = None) -> ExperimentResult:
-    """Convenience wrapper: build a runner and execute once."""
-    return ExperimentRunner(config).run(seed=seed)
+def run_experiment(
+    config: ExperimentConfig,
+    seed: int | None = None,
+    store: typing.Any = None,
+    store_kind: str = "run",
+) -> ExperimentResult:
+    """Convenience wrapper: build a runner and execute once.
+
+    ``store`` (a :class:`repro.store.ResultStore`) records the finished
+    result. Recording happens strictly after the simulation completes —
+    the store never touches the event loop or RNG streams, so a recorded
+    run is indistinguishable from an unrecorded one.
+    """
+    result = ExperimentRunner(config).run(seed=seed)
+    if store is not None:
+        store.record_result(result, seed=seed, kind=store_kind)
+    return result
 
 
 def run_replicated(

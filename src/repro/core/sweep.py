@@ -60,6 +60,7 @@ def sweep(
     hook: typing.Callable[[dict, typing.Sequence[ExperimentResult]], None] | None = None,
     jobs: int = 1,
     cache: typing.Any = None,
+    store: typing.Any = None,
 ) -> list[SweepPoint]:
     """Run the cartesian product of ``grid`` over ``base``.
 
@@ -71,13 +72,21 @@ def sweep(
     ``jobs`` > 1 fans the points × seeds out over worker processes;
     ``cache`` (a :class:`repro.matrix.cache.ResultCache`) replays
     already-computed points instead of re-executing them. Both leave the
-    returned points identical to a serial, uncached run.
+    returned points identical to a serial, uncached run. ``store`` (a
+    :class:`repro.store.ResultStore`) records the finished sweep.
     """
     if not grid:
         raise ValueError("empty sweep grid")
     from repro.matrix.engine import run_matrix
 
     report = run_matrix(
-        base, grid, seeds=seeds, jobs=jobs, cache=cache, hook=hook
+        base,
+        grid,
+        seeds=seeds,
+        jobs=jobs,
+        cache=cache,
+        hook=hook,
+        store=store,
+        store_kind="sweep",
     )
     return report.points

@@ -15,6 +15,8 @@ from repro.matrix.engine import (
     execute_task,
     format_matrix_table,
     grid_points,
+    matrix_meta,
+    record_matrix_report,
     run_matrix,
     run_replicated_cached,
 )
@@ -30,8 +32,10 @@ __all__ = [
     "execute_task",
     "format_matrix_table",
     "grid_points",
+    "matrix_meta",
     "preset",
     "preset_names",
+    "record_matrix_report",
     "run_matrix",
     "run_replicated_cached",
 ]

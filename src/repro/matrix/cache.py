@@ -50,6 +50,17 @@ class CacheStats:
             f"{self.stores} store(s)"
         )
 
+    def to_dict(self) -> dict:
+        """Serializable tallies — exported in matrix metadata sidecars
+        and recorded with stored sweeps."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "stores": self.stores,
+            "lookups": self.lookups,
+        }
+
 
 def canonical_run_dict(config: ExperimentConfig, seed: int) -> dict:
     """The canonical config dict with the *run* seed substituted in.

@@ -98,6 +98,8 @@ def run_matrix(
     jobs: int = 1,
     cache: ResultCache | None = None,
     hook: PointHook | None = None,
+    store: typing.Any = None,
+    store_kind: str = "matrix",
 ) -> MatrixReport:
     """Run ``grid`` × ``seeds`` over ``base``, in parallel and cached.
 
@@ -107,6 +109,11 @@ def run_matrix(
     so progress output is deterministic too. Interrupted runs resume for
     free: completed tasks are already in the cache, only missing slots
     re-execute.
+
+    ``store`` (a :class:`repro.store.ResultStore`) records the finished
+    matrix as one sweep — every run plus the execution/cache metadata —
+    strictly after all tasks complete, so recording can never perturb
+    the run itself.
     """
     seeds = tuple(seeds)
     if not seeds:
@@ -159,7 +166,7 @@ def run_matrix(
                         cache.put(config, seed, records[index])
                     emit.drain()
 
-    return MatrixReport(
+    report = MatrixReport(
         points=emit.points,
         records=typing.cast("list[dict]", records),
         seeds=seeds,
@@ -167,6 +174,53 @@ def run_matrix(
         jobs=jobs,
         cache_stats=None if cache is None else cache.stats,
     )
+    if store is not None:
+        record_matrix_report(store, report, base, grid, kind=store_kind)
+    return report
+
+
+def matrix_meta(
+    report: MatrixReport, grid: dict[str, typing.Sequence]
+) -> dict:
+    """Execution metadata for one matrix run, including cache traffic.
+
+    This is what the JSONL/JSON exports carry in their ``.meta.json``
+    sidecar and what stored sweeps keep in ``meta_json``. It lives
+    *next to* the records, never inside them: cache statistics differ
+    between a cold and a warm run while the record lines must stay
+    byte-identical.
+    """
+    return {
+        "grid": {key: list(values) for key, values in sorted(grid.items())},
+        "seeds": list(report.seeds),
+        "tasks": report.tasks,
+        "executed": report.executed,
+        "jobs": report.jobs,
+        "cache": (
+            None
+            if report.cache_stats is None
+            else report.cache_stats.to_dict()
+        ),
+    }
+
+
+def record_matrix_report(
+    store: typing.Any,
+    report: MatrixReport,
+    base: ExperimentConfig,
+    grid: dict[str, typing.Sequence],
+    kind: str = "matrix",
+    label: str | None = None,
+) -> int:
+    """Record a finished matrix run into a results store as one sweep."""
+    sweep_id = store.record_sweep(
+        kind,
+        base.label() if label is None else label,
+        matrix_meta(report, grid),
+    )
+    for record in report.records:
+        store.record_run(record, kind=kind, sweep_id=sweep_id)
+    return int(sweep_id)
 
 
 class _OrderedEmitter:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import math
 import re
+import statistics
 import typing
 
 from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
@@ -99,6 +100,28 @@ def timeline_rows(scraper: Scraper) -> list[dict]:
             rows.append({"t": t, "metric": name, "labels": labels, "value": value})
     rows.sort(key=lambda r: r["t"])
     return rows
+
+
+def series_summaries(scraper: Scraper) -> dict[str, dict]:
+    """Collapse each scraped series to last/peak/mean/samples.
+
+    The compact per-series shape the benchmark telemetry baseline
+    (``BENCH_metrics.json``) and the results database's ``series`` table
+    store: enough to spot shifted queue peaks or lag without keeping the
+    full timeline. Series that never collected a sample are omitted.
+    """
+    summaries: dict[str, dict] = {}
+    for name, ts in sorted(scraper.series().items()):
+        values = list(ts.values)
+        if not values:
+            continue
+        summaries[name] = {
+            "last": values[-1],
+            "peak": max(values),
+            "mean": statistics.fmean(values),
+            "samples": len(values),
+        }
+    return summaries
 
 
 def save_metrics_jsonl(scraper: Scraper, path: str) -> None:

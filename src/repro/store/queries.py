@@ -1,0 +1,351 @@
+"""Query layer over the results database: history, trend, regress, pareto.
+
+Everything here is read-only SQL plus plain-Python analysis; rendering
+lives in :mod:`repro.store.report`, recording in :mod:`repro.store.db`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sqlite3
+import typing
+
+from repro.errors import ConfigError
+from repro.store.db import ResultStore
+from repro.store.record import METRIC_DIRECTIONS
+
+
+@dataclasses.dataclass(frozen=True)
+class HistoryFilter:
+    """Row predicate shared by history/trend/pareto queries."""
+
+    sps: str | None = None
+    serving: str | None = None
+    model: str | None = None
+    nodes: int | None = None
+    kind: str | None = None
+    slot_id: str | None = None
+    limit: int | None = None
+
+    def where(self) -> tuple[str, list]:
+        clauses, params = [], []
+        for column in ("sps", "serving", "model", "nodes", "kind", "slot_id"):
+            value = getattr(self, column)
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        text = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        return text, params
+
+
+def _rows_to_dicts(rows: typing.Sequence[sqlite3.Row]) -> list[dict]:
+    return [dict(row) for row in rows]
+
+
+def history(
+    store: ResultStore, filters: HistoryFilter | None = None
+) -> list[dict]:
+    """Stored runs matching ``filters``, newest first."""
+    filters = filters or HistoryFilter()
+    where, params = filters.where()
+    sql = (
+        "SELECT id, slot_id, kind, source, label, sps, serving, model,"
+        " nodes, seed, fingerprint, git_rev, recorded_at, throughput,"
+        " latency_mean, latency_p50, latency_p95, latency_p99,"
+        " latency_p999, completed, produced, duplicates,"
+        " inference_requests, cost_proxy, sweep_id"
+        f" FROM runs{where} ORDER BY recorded_at DESC, id DESC"
+    )
+    if filters.limit is not None:
+        sql += " LIMIT ?"
+        params = params + [filters.limit]
+    return _rows_to_dicts(store.conn.execute(sql, params).fetchall())
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendSeries:
+    """One config slot's trajectory of a metric across recordings."""
+
+    slot_id: str
+    label: str
+    seed: int | None
+    metric: str
+    #: (recorded_at, git_rev, value) in recording order; value may be
+    #: None when a run lacked the metric (e.g. no completions).
+    points: tuple[tuple[float, str | None, float | None], ...]
+
+    @property
+    def values(self) -> list[float]:
+        return [v for __, __, v in self.points if v is not None]
+
+
+def validate_metric(metric: str) -> str:
+    if metric not in METRIC_DIRECTIONS:
+        raise ConfigError(
+            f"unknown metric {metric!r}; expected one of "
+            f"{', '.join(sorted(METRIC_DIRECTIONS))}"
+        )
+    return metric
+
+
+def trend(
+    store: ResultStore,
+    metric: str = "throughput",
+    filters: HistoryFilter | None = None,
+    min_points: int = 1,
+) -> list[TrendSeries]:
+    """Per-slot trajectories of ``metric``, oldest point first.
+
+    Slots are the longitudinal unit: the same canonical (config, seed)
+    recorded under different code fingerprints / git revisions is one
+    series, which is exactly the "did this configuration change across
+    revisions" question. Slots with fewer than ``min_points``
+    recordings are dropped.
+    """
+    validate_metric(metric)
+    filters = filters or HistoryFilter()
+    where, params = filters.where()
+    sql = (
+        f"SELECT slot_id, label, seed, recorded_at, git_rev, {metric}"
+        f" FROM runs{where} ORDER BY slot_id, recorded_at, id"
+    )
+    series: list[TrendSeries] = []
+    current: list[sqlite3.Row] = []
+
+    def flush() -> None:
+        if len(current) >= min_points:
+            first = current[0]
+            series.append(
+                TrendSeries(
+                    slot_id=first["slot_id"],
+                    label=first["label"],
+                    seed=first["seed"],
+                    metric=metric,
+                    points=tuple(
+                        (row["recorded_at"], row["git_rev"], row[metric])
+                        for row in current
+                    ),
+                )
+            )
+
+    for row in store.conn.execute(sql, params):
+        if current and row["slot_id"] != current[0]["slot_id"]:
+            flush()
+            current = []
+        current.append(row)
+    if current:
+        flush()
+    series.sort(key=lambda s: (s.label, s.seed if s.seed is not None else -1))
+    if filters.limit is not None:
+        series = series[: filters.limit]
+    return series
+
+
+# -- regression gate --------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current comparison."""
+
+    metric: str
+    baseline: float
+    current: float
+    #: Relative change, signed so positive is always an improvement.
+    relative_gain: float
+    threshold: float
+    regressed: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class RegressionVerdict:
+    """Outcome of comparing one run against its stored baseline."""
+
+    slot_id: str
+    label: str
+    baseline_run_id: int | None
+    baseline_git_rev: str | None
+    baseline_recorded_at: float | None
+    deltas: tuple[MetricDelta, ...]
+
+    @property
+    def has_baseline(self) -> bool:
+        return self.baseline_run_id is not None
+
+    @property
+    def regressed(self) -> tuple[MetricDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressed
+
+
+def baseline_for(
+    store: ResultStore, slot_id: str, kind: str | None = None
+) -> sqlite3.Row | None:
+    """The most recent stored run for ``slot_id`` (the baseline).
+
+    The latest recording wins: blessing a new baseline is simply
+    recording a new run for the slot — no flag day, and history keeps
+    every previous baseline for `crayfish trend` to show.
+    """
+    sql = "SELECT * FROM runs WHERE slot_id = ?"
+    params: list = [slot_id]
+    if kind is not None:
+        sql += " AND kind = ?"
+        params.append(kind)
+    sql += " ORDER BY recorded_at DESC, id DESC LIMIT 1"
+    return store.conn.execute(sql, params).fetchone()
+
+
+#: Default relative thresholds per metric: throughput may drop at most
+#: 15%, latency percentiles may rise at most 25% (tails are noisier than
+#: means in short simulated runs, hence the shared generous bound).
+DEFAULT_THRESHOLDS: dict[str, float] = {
+    "throughput": 0.15,
+    "latency_mean": 0.25,
+    "latency_p95": 0.25,
+    "latency_p99": 0.30,
+}
+
+
+def compare_to_baseline(
+    store: ResultStore,
+    slot_id: str,
+    label: str,
+    current: dict[str, float | None],
+    thresholds: dict[str, float] | None = None,
+) -> RegressionVerdict:
+    """Compare ``current`` metric values against the stored baseline.
+
+    ``current`` maps metric name -> measured value (None skips the
+    metric, as does a missing/None baseline value — a slot that never
+    completed anything cannot regress). A metric regresses when its
+    relative change in the *worsening* direction exceeds its threshold.
+    """
+    thresholds = DEFAULT_THRESHOLDS if thresholds is None else thresholds
+    baseline = baseline_for(store, slot_id)
+    if baseline is None:
+        return RegressionVerdict(
+            slot_id=slot_id,
+            label=label,
+            baseline_run_id=None,
+            baseline_git_rev=None,
+            baseline_recorded_at=None,
+            deltas=(),
+        )
+    deltas = []
+    for metric in sorted(thresholds):
+        validate_metric(metric)
+        threshold = thresholds[metric]
+        base_value = baseline[metric]
+        value = current.get(metric)
+        if base_value is None or value is None or base_value == 0:
+            continue
+        direction = METRIC_DIRECTIONS[metric]
+        relative_gain = direction * (value - base_value) / abs(base_value)
+        deltas.append(
+            MetricDelta(
+                metric=metric,
+                baseline=base_value,
+                current=value,
+                relative_gain=relative_gain,
+                threshold=threshold,
+                regressed=relative_gain < -threshold,
+            )
+        )
+    return RegressionVerdict(
+        slot_id=slot_id,
+        label=label,
+        baseline_run_id=baseline["id"],
+        baseline_git_rev=baseline["git_rev"],
+        baseline_recorded_at=baseline["recorded_at"],
+        deltas=tuple(deltas),
+    )
+
+
+# -- pareto frontier --------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration's position in the latency/throughput/cost space."""
+
+    run_id: int
+    slot_id: str
+    label: str
+    seed: int | None
+    latency: float
+    throughput: float
+    cost: float
+    on_frontier: bool
+
+
+def pareto_frontier(
+    store: ResultStore,
+    filters: HistoryFilter | None = None,
+    latency_metric: str = "latency_p95",
+) -> list[ParetoPoint]:
+    """The latency-vs-throughput-vs-cost frontier over stored configs.
+
+    Only the *latest* recording per slot competes (older recordings are
+    history, not candidate deployments). A point is dominated when some
+    other point is at least as good on all three axes — lower latency,
+    higher throughput, lower cost proxy — and strictly better on one.
+    Points missing any axis (no completions, no cost) are excluded.
+    Returns every competing point, frontier first, then by latency.
+    """
+    validate_metric(latency_metric)
+    filters = filters or HistoryFilter()
+    where, params = filters.where()
+    sql = (
+        f"SELECT id, slot_id, label, seed, {latency_metric} AS latency,"
+        " throughput, cost_proxy FROM runs"
+        f"{where} ORDER BY slot_id, recorded_at DESC, id DESC"
+    )
+    latest: dict[str, sqlite3.Row] = {}
+    for row in store.conn.execute(sql, params):
+        latest.setdefault(row["slot_id"], row)  # first row = newest
+    candidates = [
+        row
+        for row in latest.values()
+        if row["latency"] is not None
+        and row["throughput"] is not None
+        and row["cost_proxy"] is not None
+    ]
+
+    def dominates(a: sqlite3.Row, b: sqlite3.Row) -> bool:
+        no_worse = (
+            a["latency"] <= b["latency"]
+            and a["throughput"] >= b["throughput"]
+            and a["cost_proxy"] <= b["cost_proxy"]
+        )
+        better = (
+            a["latency"] < b["latency"]
+            or a["throughput"] > b["throughput"]
+            or a["cost_proxy"] < b["cost_proxy"]
+        )
+        return no_worse and better
+
+    points = [
+        ParetoPoint(
+            run_id=row["id"],
+            slot_id=row["slot_id"],
+            label=row["label"],
+            seed=row["seed"],
+            latency=row["latency"],
+            throughput=row["throughput"],
+            cost=row["cost_proxy"],
+            on_frontier=not any(
+                dominates(other, row)
+                for other in candidates
+                if other is not row
+            ),
+        )
+        for row in candidates
+    ]
+    points.sort(key=lambda p: (not p.on_frontier, p.latency, p.run_id))
+    if filters.limit is not None:
+        points = points[: filters.limit]
+    return points

@@ -1,0 +1,170 @@
+"""Text rendering for the results-database queries.
+
+Reuses the repo's table formatter and the metrics dashboard's sparkline
+renderer so `crayfish history`/`trend`/`regress`/`pareto` read like the
+rest of the CLI.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.report import format_table
+from repro.metrics.dashboard import sparkline
+from repro.store.queries import (
+    ParetoPoint,
+    RegressionVerdict,
+    TrendSeries,
+)
+
+
+def _stamp(recorded_at: float | None) -> str:
+    if recorded_at is None:
+        return "-"
+    stamp = datetime.datetime.fromtimestamp(
+        recorded_at, tz=datetime.timezone.utc
+    )
+    return stamp.strftime("%Y-%m-%d %H:%M")
+
+
+def _num(value: float | None, spec: str = ".1f") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def _ms(value: float | None) -> str:
+    return "-" if value is None else f"{value * 1e3:.2f}"
+
+
+def format_history(rows: list[dict], title: str = "run history") -> str:
+    """One line per stored run, newest first."""
+    if not rows:
+        return "(no stored runs match)"
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            (
+                row["id"],
+                _stamp(row["recorded_at"]),
+                row["git_rev"] or "-",
+                row["kind"],
+                row["label"],
+                row["seed"] if row["seed"] is not None else "-",
+                _num(row["throughput"]),
+                _ms(row["latency_mean"]),
+                _ms(row["latency_p95"]),
+                row["completed"] if row["completed"] is not None else "-",
+                _num(row["cost_proxy"], ".2f"),
+            )
+        )
+    return format_table(
+        [
+            "id",
+            "recorded (UTC)",
+            "git rev",
+            "kind",
+            "config",
+            "seed",
+            "events/s",
+            "mean ms",
+            "p95 ms",
+            "completed",
+            "cost",
+        ],
+        table_rows,
+        title=title,
+    )
+
+
+def format_trends(
+    trends: list[TrendSeries], width: int = 32, title: str = "trend"
+) -> str:
+    """Sparkline per config slot: the metric across recordings."""
+    if not trends:
+        return "(no slot has enough recordings to trend)"
+    lines = [title]
+    name_width = max(
+        len(f"{t.label} seed={t.seed}") for t in trends
+    )
+    for series in trends:
+        values = series.values
+        first = values[0] if values else None
+        last = values[-1] if values else None
+        revs = [rev for __, rev, __v in series.points if rev]
+        span = (
+            f"{revs[0]}..{revs[-1]}"
+            if revs and revs[0] != revs[-1]
+            else (revs[0] if revs else "-")
+        )
+        name = f"{series.label} seed={series.seed}".ljust(name_width)
+        lines.append(
+            f"{name} {sparkline(values, width)} "
+            f"{_num(first, '.4g')} -> {_num(last, '.4g')} "
+            f"({len(series.points)} runs, {span})"
+        )
+    return "\n".join(lines)
+
+
+def format_regression(verdict: RegressionVerdict) -> str:
+    """The regress gate's report: per-metric deltas and the verdict."""
+    if not verdict.has_baseline:
+        return (
+            f"{verdict.label}: no stored baseline for this configuration "
+            f"slot ({verdict.slot_id[:12]}); recording this run as the "
+            "first baseline"
+        )
+    rows = []
+    for delta in verdict.deltas:
+        gain = delta.relative_gain * 100
+        if gain == 0:
+            gain = 0.0  # normalize -0.0 so the sign prefix reads right
+        direction = "+" if gain >= 0 else ""
+        rows.append(
+            (
+                delta.metric,
+                f"{delta.baseline:.6g}",
+                f"{delta.current:.6g}",
+                f"{direction}{gain:.1f}%",
+                f"{delta.threshold * 100:.0f}%",
+                "REGRESSED" if delta.regressed else "ok",
+            )
+        )
+    header = (
+        f"baseline: run {verdict.baseline_run_id} "
+        f"@ {verdict.baseline_git_rev or 'unknown rev'} "
+        f"({_stamp(verdict.baseline_recorded_at)} UTC)"
+    )
+    table = format_table(
+        ["metric", "baseline", "current", "change", "allowed", "verdict"],
+        rows,
+        title=f"{verdict.label}: regression check",
+    )
+    return f"{table}\n{header}"
+
+
+def format_pareto(
+    points: list[ParetoPoint], title: str = "latency/throughput/cost frontier"
+) -> str:
+    """Frontier table: frontier members first, dominated points after."""
+    if not points:
+        return "(no stored run carries all three axes yet)"
+    rows = [
+        (
+            "*" if point.on_frontier else "",
+            point.label,
+            point.seed if point.seed is not None else "-",
+            _ms(point.latency),
+            f"{point.throughput:.1f}",
+            f"{point.cost:.2f}",
+        )
+        for point in points
+    ]
+    frontier = sum(1 for p in points if p.on_frontier)
+    table = format_table(
+        ["front", "config", "seed", "latency ms", "events/s", "cost/1k"],
+        rows,
+        title=title,
+    )
+    return (
+        f"{table}\n{frontier} of {len(points)} stored configuration(s) "
+        "on the Pareto frontier (cost = worker-seconds per 1000 events)"
+    )

@@ -1,0 +1,85 @@
+"""Shared fixtures for the results-database suite.
+
+Every store is opened with injected provenance (fingerprint, git rev)
+and a deterministic counting clock, so recordings are reproducible and
+tests never shell out to git or read the real source tree.
+"""
+
+import itertools
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.store import ResultStore
+
+FINGERPRINT = "test-fingerprint-0000"
+GIT_REV = "cafebabe0000"
+
+TINY = ExperimentConfig(
+    sps="flink", serving="onnx", model="ffnn", ir=50.0, duration=0.5
+)
+
+
+def make_record(
+    config: ExperimentConfig = TINY,
+    seed: int = 0,
+    throughput: float = 100.0,
+    latency_mean: float = 0.010,
+    latency_p95: float = 0.020,
+    completed: int = 50,
+) -> dict:
+    """A minimal full result record with the canonical config block."""
+    return {
+        "config": config.canonical_dict(),
+        "seed": seed,
+        "throughput": throughput,
+        "latency": {
+            "mean": latency_mean,
+            "p50": latency_mean,
+            "p95": latency_p95,
+            "p99": latency_p95 * 1.5,
+            "p999": latency_p95 * 2.0,
+        },
+        "completed": completed,
+        "produced": completed,
+        "duplicates": 0,
+        "inference_requests": completed,
+        "measure_start": 0.1,
+        "measure_end": 0.5,
+        "series": [[0.2, latency_mean], [0.3, latency_mean]],
+        "backlog_series": [[0.2, 1]],
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A fresh on-disk store with pinned provenance and a counting clock."""
+    ticks = itertools.count(1)
+    with ResultStore(
+        tmp_path / "store.sqlite",
+        fingerprint=FINGERPRINT,
+        git_rev=GIT_REV,
+        clock=lambda: float(next(ticks)),
+    ) as result_store:
+        yield result_store
+
+
+@pytest.fixture(scope="session")
+def store_factory():
+    """Builds throwaway in-memory stores — one per hypothesis example.
+
+    Session-scoped (a plain callable, no per-test state) so hypothesis
+    tests can use it without tripping the function-scoped-fixture health
+    check.
+    """
+
+    def build() -> ResultStore:
+        ticks = itertools.count(1)
+        return ResultStore(
+            ":memory:",
+            fingerprint=FINGERPRINT,
+            git_rev=GIT_REV,
+            clock=lambda: float(next(ticks)),
+        )
+
+    return build

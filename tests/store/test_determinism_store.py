@@ -1,0 +1,43 @@
+"""Recording must never perturb results: store-on == store-off, bytewise."""
+
+import pytest
+
+from repro.config import SPS_NAMES
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    monkeypatch.delenv("CRAYFISH_STORE", raising=False)
+
+
+@pytest.mark.parametrize("sps", SPS_NAMES)
+def test_run_export_identical_with_recording_on_and_off(
+    sps, tmp_path, capsys
+):
+    base = ["run", "--sps", sps, "--ir", "50", "--duration", "0.5"]
+    off = tmp_path / "off.json"
+    on = tmp_path / "on.json"
+    assert main(base + ["--json", str(off)]) == 0
+    assert main(base + [
+        "--json", str(on), "--store", str(tmp_path / "db.sqlite"),
+    ]) == 0
+    capsys.readouterr()
+    assert off.read_bytes() == on.read_bytes()
+
+
+def test_matrix_jsonl_identical_with_recording_on_and_off(tmp_path, capsys):
+    base = [
+        "matrix", "--preset", "smoke", "--duration", "0.25", "--seeds", "0",
+        "--no-cache",
+    ]
+    off = tmp_path / "off.jsonl"
+    on = tmp_path / "on.jsonl"
+    assert main(base + ["--jsonl", str(off)]) == 0
+    assert main(base + [
+        "--jsonl", str(on), "--store", str(tmp_path / "db.sqlite"),
+    ]) == 0
+    capsys.readouterr()
+    # The record lines are byte-identical; execution metadata lives in
+    # the .meta.json sidecar, never in the JSONL itself.
+    assert off.read_bytes() == on.read_bytes()

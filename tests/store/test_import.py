@@ -1,0 +1,116 @@
+"""Backfilling the store from committed artifacts is complete & idempotent."""
+
+import json
+import pathlib
+
+from repro.store import HistoryFilter, history
+from repro.store.importers import (
+    bench_slot,
+    import_all,
+    import_bench_metrics,
+    import_scaleout_golden,
+    record_bench_entries,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+BENCH_ENTRIES = {
+    "flink/onnx/ffnn": {
+        "throughput": 120.0,
+        "latency_mean": 0.011,
+        "latency_p95": 0.021,
+        "completed": 60,
+        "series": {
+            "events_completed": {
+                "last": 60.0, "peak": 60.0, "mean": 30.0, "samples": 12,
+            },
+        },
+    },
+    "ray/ray_serve/ffnn": {
+        "throughput": 80.0,
+        "latency_mean": 0.015,
+        "latency_p95": 0.030,
+        "completed": 40,
+        "series": {},
+    },
+    "not a label": {"throughput": 1.0},
+}
+
+
+def test_bench_slot_is_stable_and_label_keyed():
+    assert bench_slot("flink/onnx/ffnn") == bench_slot("flink/onnx/ffnn")
+    assert bench_slot("flink/onnx/ffnn") != bench_slot("ray/ray_serve/ffnn")
+
+
+def test_record_bench_entries_parses_labels(store):
+    report = record_bench_entries(store, BENCH_ENTRIES)
+    assert report.runs == 2
+    assert report.series == 1
+    assert report.skipped == ["not a label"]
+    rows = history(store, HistoryFilter(kind="bench"))
+    by_label = {row["label"]: row for row in rows}
+    flink = by_label["flink/onnx/ffnn"]
+    assert flink["slot_id"] == bench_slot("flink/onnx/ffnn")
+    assert flink["sps"] == "flink"
+    assert flink["serving"] == "onnx"
+    assert flink["throughput"] == 120.0
+    assert store.series_of(flink["id"]) == BENCH_ENTRIES[
+        "flink/onnx/ffnn"
+    ]["series"]
+
+
+def test_live_bench_recordings_share_import_slots(store, tmp_path):
+    path = tmp_path / "BENCH_metrics.json"
+    path.write_text(json.dumps({k: v for k, v in BENCH_ENTRIES.items()
+                                if k != "not a label"}))
+    import_bench_metrics(store, path)
+    record_bench_entries(
+        store, {"flink/onnx/ffnn": BENCH_ENTRIES["flink/onnx/ffnn"]}
+    )
+    slot = bench_slot("flink/onnx/ffnn")
+    rows = history(store, HistoryFilter(slot_id=slot))
+    # Imported baseline and live recording form one longitudinal series.
+    assert len(rows) == 2
+    assert {row["source"] for row in rows} == {
+        "import:bench_metrics", "bench",
+    }
+
+
+def test_scaleout_nodes_parsed_from_cluster_shorthand(store, tmp_path):
+    path = tmp_path / "scaleout_golden.json"
+    path.write_text(json.dumps({
+        "base": {"sps": "flink", "serving": "tf_serving", "model": "ffnn",
+                 "ir": 50.0, "duration": 0.5, "seed": 0},
+        "points": [
+            {"overrides": {"cluster": "3n"},
+             "runs": [{"seed": 0, "throughput": 140.0,
+                       "latency": {"mean": 0.01, "p95": 0.02},
+                       "completed": 70}]},
+        ],
+    }))
+    report = import_scaleout_golden(store, path)
+    assert report.runs == 1
+    (row,) = history(store)
+    assert row["nodes"] == 3
+    assert "cluster=3n" in row["label"]
+
+
+def test_import_all_against_real_repo_is_idempotent(store):
+    first = import_all(store, REPO_ROOT)
+    assert first.runs > 0
+    assert first.artifacts > 0
+    counts = store.counts()
+
+    steps = []
+    second = import_all(store, REPO_ROOT, hook=lambda n, r: steps.append(n))
+    assert second.runs == 0
+    assert second.artifacts == 0
+    assert len(second.skipped) == first.artifacts  # every file unchanged
+    assert store.counts() == counts
+    assert "BENCH_metrics.json" in steps
+
+
+def test_import_missing_sources_is_quietly_empty(store, tmp_path):
+    report = import_all(store, tmp_path)
+    assert (report.runs, report.series, report.artifacts) == (0, 0, 0)
+    assert report.skipped == []

@@ -1,0 +1,185 @@
+"""History, trend, regression, and pareto queries over a seeded store."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigError
+from repro.store import (
+    DEFAULT_THRESHOLDS,
+    HistoryFilter,
+    baseline_for,
+    compare_to_baseline,
+    history,
+    pareto_frontier,
+    slot_id_of,
+    trend,
+)
+from repro.store.queries import validate_metric
+
+from tests.store.conftest import TINY, make_record
+
+KAFKA = dataclasses.replace(TINY, sps="kafka_streams")
+
+
+def test_history_newest_first_and_filters(store):
+    store.record_run(make_record(seed=0, throughput=100.0))
+    store.record_run(make_record(seed=0, throughput=110.0))
+    store.record_run(make_record(config=KAFKA, seed=0), kind="matrix")
+
+    rows = history(store)
+    assert [row["sps"] for row in rows] == ["kafka_streams", "flink", "flink"]
+    assert rows[0]["recorded_at"] > rows[-1]["recorded_at"]
+
+    flink_only = history(store, HistoryFilter(sps="flink"))
+    assert {row["sps"] for row in flink_only} == {"flink"}
+    assert len(flink_only) == 2
+
+    assert len(history(store, HistoryFilter(kind="matrix"))) == 1
+    assert len(history(store, HistoryFilter(limit=1))) == 1
+    assert history(store, HistoryFilter(serving="torchserve")) == []
+
+
+def test_trend_groups_by_slot_and_orders_oldest_first(store):
+    for throughput in (100.0, 105.0, 95.0):
+        store.record_run(make_record(seed=0, throughput=throughput))
+    store.record_run(make_record(seed=1, throughput=50.0))  # other slot
+
+    series = trend(store, "throughput")
+    assert len(series) == 2
+    by_seed = {s.seed: s for s in series}
+    assert by_seed[0].values == [100.0, 105.0, 95.0]
+    assert by_seed[1].values == [50.0]
+
+    # min_points drops singletons.
+    assert [s.seed for s in trend(store, "throughput", min_points=2)] == [0]
+
+
+def test_trend_rejects_unknown_metric(store):
+    with pytest.raises(ConfigError, match="unknown metric"):
+        trend(store, "vibes")
+    with pytest.raises(ConfigError):
+        validate_metric("record_json")  # SQL injection guard
+
+
+def test_baseline_is_latest_recording(store):
+    slot = slot_id_of(TINY.canonical_dict(), 0)
+    assert baseline_for(store, slot) is None
+    first = store.record_run(make_record(seed=0, throughput=100.0))
+    assert baseline_for(store, slot)["id"] == first
+    second = store.record_run(make_record(seed=0, throughput=90.0))
+    assert baseline_for(store, slot)["id"] == second
+
+
+def test_compare_without_baseline(store):
+    verdict = compare_to_baseline(
+        store, "missing-slot", "flink/onnx/ffnn", {"throughput": 100.0}
+    )
+    assert not verdict.has_baseline
+    assert verdict.ok
+    assert verdict.deltas == ()
+
+
+def test_compare_passes_within_threshold(store):
+    store.record_run(make_record(seed=0, throughput=100.0))
+    slot = slot_id_of(TINY.canonical_dict(), 0)
+    verdict = compare_to_baseline(
+        store, slot, TINY.label(),
+        {"throughput": 90.0, "latency_mean": 0.011, "latency_p95": 0.021,
+         "latency_p99": 0.031},
+    )
+    assert verdict.has_baseline
+    assert verdict.ok
+    # -10% throughput is within the 15% default threshold but still
+    # reported as a (negative-gain, non-regressed) delta.
+    delta = next(d for d in verdict.deltas if d.metric == "throughput")
+    assert delta.relative_gain == pytest.approx(-0.10)
+    assert not delta.regressed
+
+
+def test_compare_flags_regressions_in_both_directions(store):
+    store.record_run(
+        make_record(seed=0, throughput=100.0, latency_mean=0.010)
+    )
+    slot = slot_id_of(TINY.canonical_dict(), 0)
+    verdict = compare_to_baseline(
+        store, slot, TINY.label(),
+        {"throughput": 50.0, "latency_mean": 0.020},
+    )
+    assert not verdict.ok
+    regressed = {d.metric for d in verdict.regressed}
+    # Throughput halved (drop beats 15%) and mean latency doubled
+    # (rise beats 25%): both directions of "worse" are caught.
+    assert regressed == {"throughput", "latency_mean"}
+
+
+def test_compare_skips_missing_and_zero_baselines(store):
+    record = make_record(seed=0, throughput=0.0)
+    record["latency"]["mean"] = None
+    store.record_run(record)
+    slot = slot_id_of(TINY.canonical_dict(), 0)
+    verdict = compare_to_baseline(
+        store, slot, TINY.label(),
+        {"throughput": 100.0, "latency_mean": 0.010, "latency_p95": None},
+    )
+    # Zero baseline throughput, None baseline mean, None current p95:
+    # none of them produce a delta, and p99 only compares when both
+    # sides have a value.
+    assert {d.metric for d in verdict.deltas} <= {"latency_p99"}
+    assert verdict.ok
+
+
+def test_compare_honours_custom_thresholds(store):
+    store.record_run(make_record(seed=0, throughput=100.0))
+    slot = slot_id_of(TINY.canonical_dict(), 0)
+    strict = compare_to_baseline(
+        store, slot, TINY.label(), {"throughput": 95.0},
+        thresholds={"throughput": 0.01},
+    )
+    assert not strict.ok
+    assert DEFAULT_THRESHOLDS["throughput"] == 0.15  # docs depend on it
+
+
+def _point_record(config, seed, throughput, latency_p95, completed=100):
+    return make_record(
+        config=config,
+        seed=seed,
+        throughput=throughput,
+        latency_mean=latency_p95 / 2,
+        latency_p95=latency_p95,
+        completed=completed,
+    )
+
+
+def test_pareto_frontier_domination(store):
+    # Same engine parallelism everywhere -> cost scales with 1/completed.
+    good = dataclasses.replace(TINY, serving="onnx")
+    dominated = dataclasses.replace(TINY, serving="dl4j")
+    tradeoff = dataclasses.replace(TINY, serving="savedmodel")
+    store.record_run(_point_record(good, 0, 200.0, 0.010, completed=100))
+    # Strictly worse than `good` on all three axes.
+    store.record_run(_point_record(dominated, 0, 100.0, 0.020, completed=50))
+    # Worse latency but higher throughput: stays on the frontier.
+    store.record_run(_point_record(tradeoff, 0, 300.0, 0.040, completed=100))
+
+    points = pareto_frontier(store)
+    verdicts = {p.label: p.on_frontier for p in points}
+    assert verdicts["flink/onnx/ffnn"] is True
+    assert verdicts["flink/dl4j/ffnn"] is False
+    assert verdicts["flink/savedmodel/ffnn"] is True
+    # Frontier points sort first.
+    assert [p.on_frontier for p in points] == [True, True, False]
+
+
+def test_pareto_uses_latest_recording_per_slot(store):
+    store.record_run(_point_record(TINY, 0, 500.0, 0.001))
+    store.record_run(_point_record(TINY, 0, 100.0, 0.050))  # newer, worse
+    points = pareto_frontier(store)
+    assert len(points) == 1
+    assert points[0].throughput == 100.0
+
+
+def test_pareto_excludes_incomplete_axes(store):
+    store.record_run(_point_record(TINY, 0, 100.0, 0.010, completed=0))
+    assert pareto_frontier(store) == []  # no completions -> no cost axis

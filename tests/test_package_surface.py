@@ -41,6 +41,13 @@ PUBLIC_MODULES = [
     "repro.matrix.cache",
     "repro.matrix.fingerprint",
     "repro.matrix.presets",
+    "repro.store",
+    "repro.store.db",
+    "repro.store.migrations",
+    "repro.store.record",
+    "repro.store.queries",
+    "repro.store.report",
+    "repro.store.importers",
     "repro.core.scenarios",
     "repro.core.analyzer",
     "repro.core.dataset",
@@ -69,7 +76,7 @@ def test_module_imports_cleanly(module_name):
     "module_name",
     ["repro", "repro.simul", "repro.netsim", "repro.broker", "repro.nn",
      "repro.nn.zoo", "repro.nn.formats", "repro.serving", "repro.sps",
-     "repro.core"],
+     "repro.core", "repro.store"],
 )
 def test_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)
