@@ -1,0 +1,44 @@
+"""Kernel microbenchmark: events/sec of the calendar-queue scheduler.
+
+Not a paper figure — this pins the simulation kernel itself.  The
+committed trajectory lives in ``BENCH_kernel.json`` (regenerate with
+``crayfish kernel-bench --update-baseline``); the numbers here run at
+reduced scale so the suite stays fast.
+"""
+
+from repro.simul.bench import (
+    WORKLOADS,
+    format_kernel_bench,
+    run_kernel_bench,
+)
+
+
+def test_kernel_bench_entry_structure(record_table):
+    entries = run_kernel_bench(scale=0.1, repeats=2)
+    assert set(entries) == set(WORKLOADS)
+    for workload, entry in entries.items():
+        assert entry["events"] > 0
+        assert entry["baseline"]["scheduler"] == "heap"
+        assert entry["current"]["scheduler"] == "calendar"
+        for side in ("baseline", "current"):
+            assert entry[side]["seconds"] > 0
+            assert entry[side]["events_per_sec"] > 0
+        assert entry["speedup"] > 0
+    record_table("kernel_bench", format_kernel_bench(entries))
+
+
+def test_scalability_workload_clears_speedup_floor():
+    # The acceptance floor is 5x at full scale; at 0.5 scale under a
+    # loaded CI host we assert a conservative 3x so the check stays
+    # robust while still catching a vectorized-path regression (the
+    # full-scale measurement on a quiet host is 7-9x).
+    entries = run_kernel_bench(workloads=("scalability",), scale=0.5, repeats=3)
+    assert entries["scalability"]["speedup"] >= 3.0
+
+
+def test_scalar_workloads_do_not_regress():
+    # churn/handoff exercise the slab + now-lane paths; the calendar
+    # scheduler must stay within noise of the old heap kernel on them.
+    entries = run_kernel_bench(workloads=("churn", "handoff"), scale=0.5, repeats=3)
+    for workload in ("churn", "handoff"):
+        assert entries[workload]["speedup"] >= 0.7

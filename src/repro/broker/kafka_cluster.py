@@ -174,7 +174,7 @@ class BrokerCluster:
             self.tracer.end(span)
         attrs = self._node_attrs(partition)
         span = self.tracer.begin(value, f"broker.send:{topic}", **attrs)
-        yield self.env.timeout(
+        yield self.env.service_timeout(
             self._link_for(partition, client_node).transfer_time(nbytes)
         )
         self.tracer.end(span)
@@ -185,7 +185,7 @@ class BrokerCluster:
             self.tracer.end(wait)
             span = self.tracer.begin(value, f"broker.append:{topic}", **attrs)
             service = cal.BROKER_APPEND_OVERHEAD + nbytes / cal.BROKER_IO_BANDWIDTH
-            yield self.env.timeout(service)
+            yield self.env.service_timeout(service)
             record = log.append(timestamp, value, nbytes)
             self.tracer.end(span)
         return RecordMetadata(
@@ -215,10 +215,10 @@ class BrokerCluster:
             yield req
             nbytes = sum(r.nbytes for r in records)
             service = cal.BROKER_FETCH_OVERHEAD + nbytes / cal.BROKER_IO_BANDWIDTH
-            yield self.env.timeout(service)
+            yield self.env.service_timeout(service)
         if records:
             total = sum(r.nbytes for r in records)
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 self._link_for(partition, client_node).transfer_time(total)
             )
         self._trace_fetched(topic, records, fetch_start)
@@ -270,9 +270,9 @@ class BrokerCluster:
         with broker.request() as req:
             yield req
             service = cal.BROKER_FETCH_OVERHEAD + nbytes / cal.BROKER_IO_BANDWIDTH
-            yield self.env.timeout(service)
+            yield self.env.service_timeout(service)
         if records and data_transfer:
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 self._link_for(first, client_node).transfer_time(nbytes)
             )
         self._trace_fetched(topic, records, fetch_start)

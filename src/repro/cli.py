@@ -1133,6 +1133,87 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_kernel_bench(args: argparse.Namespace) -> int:
+    """Measure kernel events/sec and gate it on the stored baseline."""
+    from repro.errors import SimulationError
+    from repro.simul.bench import format_kernel_bench, run_kernel_bench
+    from repro.store import ResultStore, compare_to_baseline, format_regression
+    from repro.store.importers import bench_slot, kernel_label, record_kernel_entries
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    try:
+        entries = run_kernel_bench(
+            workloads=workloads, scale=args.scale, repeats=args.repeats
+        )
+    except SimulationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    slowdown = args.self_test_slowdown
+    if slowdown != 1.0:
+        # Synthetic degradation proving both gates fire; never recorded.
+        for entry in entries.values():
+            entry["current"]["seconds"] = round(
+                entry["current"]["seconds"] * slowdown, 6
+            )
+            entry["current"]["events_per_sec"] = round(
+                entry["current"]["events_per_sec"] / slowdown, 1
+            )
+            entry["speedup"] = round(entry["speedup"] / slowdown, 3)
+    print(format_kernel_bench(entries))
+
+    failures = []
+    if "scalability" in entries:
+        speedup = entries["scalability"]["speedup"]
+        if speedup < args.min_speedup:
+            failures.append(
+                f"scalability speedup {speedup:.2f}x is below the "
+                f"{args.min_speedup:.1f}x floor over the heap scheduler"
+            )
+    may_record = slowdown == 1.0 and not args.no_record
+    with ResultStore(_db_path(args)) as store:
+        for workload in sorted(entries):
+            label = kernel_label(workload)
+            verdict = compare_to_baseline(
+                store,
+                bench_slot(label),
+                label,
+                {"throughput": entries[workload]["current"]["events_per_sec"]},
+                {"throughput": args.threshold},
+            )
+            if verdict.has_baseline:
+                print(format_regression(verdict))
+            if not verdict.ok:
+                failures.append(
+                    f"{workload}: events/sec regressed beyond "
+                    f"{args.threshold:.0%} of the stored baseline"
+                )
+        if not failures and may_record:
+            record_kernel_entries(store, entries)
+            print(
+                f"recorded {len(entries)} kernel workload(s) into {store.path}"
+            )
+    if failures:
+        for failure in failures:
+            print(f"KERNEL REGRESSION: {failure}", file=sys.stderr)
+        print("kernel bench not recorded", file=sys.stderr)
+        return 1
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(entries, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.update_baseline:
+        payload: dict = {}
+        if os.path.exists(args.baseline_file):
+            with open(args.baseline_file) as handle:
+                payload = json.load(handle)
+        payload.update(entries)
+        with open(args.baseline_file, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"kernel baseline updated: {args.baseline_file}")
+    return 0
+
+
 def _cmd_pareto(args: argparse.Namespace) -> int:
     from repro.store import ResultStore, format_pareto, pareto_frontier
 
@@ -1566,6 +1647,59 @@ def build_parser() -> argparse.ArgumentParser:
         "(bless an intentional change)",
     )
     regress_cmd.set_defaults(func=_cmd_regress)
+
+    kernel_cmd = commands.add_parser(
+        "kernel-bench",
+        help="kernel events/sec microbenchmark, gated on the stored "
+        "baseline (exit 1 on regression — the CI gate)",
+    )
+    kernel_cmd.add_argument(
+        "--workloads", default="churn,handoff,scalability",
+        help="comma-separated kernel workloads to measure",
+    )
+    kernel_cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier (smaller = faster smoke run)",
+    )
+    kernel_cmd.add_argument(
+        "--repeats", type=int, default=3,
+        help="measurement repeats per mode (best-of wins)",
+    )
+    _add_db_arg(kernel_cmd)
+    kernel_cmd.add_argument(
+        "--threshold", type=float, default=0.4, metavar="FRACTION",
+        help="max relative events/sec drop vs the stored baseline "
+        "(wall-clock rates vary across hosts, hence the generous default)",
+    )
+    kernel_cmd.add_argument(
+        "--min-speedup", type=float, default=5.0, dest="min_speedup",
+        metavar="FACTOR",
+        help="machine-relative floor: the scalability workload must beat "
+        "the heap scheduler by at least this factor",
+    )
+    kernel_cmd.add_argument(
+        "--self-test-slowdown", type=float, default=1.0,
+        dest="self_test_slowdown", metavar="FACTOR",
+        help="synthetically degrade measured events/sec by FACTOR to "
+        "prove the gate fires (the degraded run is never recorded)",
+    )
+    kernel_cmd.add_argument(
+        "--no-record", action="store_true", dest="no_record",
+        help="compare only; never record this pass into the store",
+    )
+    kernel_cmd.add_argument(
+        "--json", default=None, dest="json_out", metavar="PATH",
+        help="also write the raw entries as JSON",
+    )
+    kernel_cmd.add_argument(
+        "--update-baseline", action="store_true", dest="update_baseline",
+        help="merge this pass into the committed BENCH_kernel.json",
+    )
+    kernel_cmd.add_argument(
+        "--baseline-file", default="BENCH_kernel.json", dest="baseline_file",
+        help="path of the committed kernel baseline file",
+    )
+    kernel_cmd.set_defaults(func=_cmd_kernel_bench)
 
     pareto_cmd = commands.add_parser(
         "pareto",

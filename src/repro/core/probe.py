@@ -46,7 +46,7 @@ class BacklogProbe:
 
     def _run(self) -> typing.Generator:
         while self.horizon is None or self.env.now < self.horizon:
-            yield self.env.timeout(self.interval)
+            yield self.env.service_timeout(self.interval)
             backlog = self.cluster.topic(self.topic).total_records() - self.completed()
             self.samples.append((self.env.now, max(backlog, 0)))
 

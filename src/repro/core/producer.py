@@ -70,7 +70,7 @@ class InputProducerBase:
         payload = json_payload(batch.input_values)
         payload_bytes = payload.nbytes
         span = self.tracer.begin(batch, "producer.serialize")
-        yield self.env.timeout(payload.encode_cost)
+        yield self.env.service_timeout(payload.encode_cost)
         self.tracer.end(span)
         yield from self._producer.send(
             self.topic,
@@ -95,13 +95,13 @@ class PacedProducer(InputProducerBase):
             rate = self.schedule.rate_at(now)
             batch = self.factory.make(created_at=now)
             span = self.tracer.begin(batch, "producer.generate")
-            yield self.env.timeout(self._generation_cost(batch))
+            yield self.env.service_timeout(self._generation_cost(batch))
             self.tracer.end(span)
             self.env.process(self._deliver(batch))
             interval = 1.0 / rate
             elapsed = self.env.now - now
             if interval > elapsed:
-                yield self.env.timeout(interval - elapsed)
+                yield self.env.service_timeout(interval - elapsed)
 
 
 class SaturatingProducer(InputProducerBase):
@@ -139,4 +139,4 @@ class SaturatingProducer(InputProducerBase):
                 # the broker cluster are sized so generation is never the
                 # bottleneck (§3.5's Kafka check).
                 self.env.process(self._deliver(batch))
-            yield self.env.timeout(self.poll_interval)
+            yield self.env.service_timeout(self.poll_interval)

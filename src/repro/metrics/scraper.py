@@ -59,7 +59,7 @@ class Scraper:
 
     def _run(self) -> typing.Generator:
         while self.horizon is None or self.env.now < self.horizon:
-            yield self.env.timeout(self.interval)
+            yield self.env.service_timeout(self.interval)
             self.scrape()
 
     def scrape(self) -> None:

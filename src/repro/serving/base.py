@@ -74,7 +74,7 @@ class ServingTool:
 
     def load(self) -> typing.Generator:
         """Coroutine: bring the model into memory (charged as warm-up)."""
-        yield self.env.timeout(self.costs.load_time())
+        yield self.env.service_timeout(self.costs.load_time())
         self._loaded = True
 
     def score(

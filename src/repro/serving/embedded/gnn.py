@@ -47,7 +47,7 @@ class GnnEmbeddedTool(EmbeddedLibrary):
             yield slot
             self.tracer.end(wait)
             span = self.tracer.begin(ctx, "serving.inference")
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 self.costs.apply_time(bsz, vectorized=vectorized, now=self.env.now)
             )
             self.tracer.end(span)

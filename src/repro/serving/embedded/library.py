@@ -51,7 +51,7 @@ class EmbeddedLibrary(ServingTool):
             yield slot
             self.tracer.end(wait)
             span = self.tracer.begin(ctx, "serving.inference", gpu=self.costs.gpu)
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 self.costs.apply_time(bsz, vectorized=vectorized, now=self.env.now)
             )
             self.tracer.end(span)
@@ -75,7 +75,7 @@ class EmbeddedLibrary(ServingTool):
         slots = [self._engine.request() for __ in range(self._engine.capacity)]
         yield self.env.all_of(slots)
         try:
-            yield self.env.timeout(new_costs.load_time())
+            yield self.env.service_timeout(new_costs.load_time())
             self.costs = new_costs
         finally:
             for slot in slots:

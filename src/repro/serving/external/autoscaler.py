@@ -137,7 +137,7 @@ class Autoscaler:
 
     def _worker(self, delay: float) -> typing.Generator:
         if delay:
-            yield self.env.timeout(delay)
+            yield self.env.service_timeout(delay)
         service = self.service
         model = service.costs.model
         while True:
@@ -153,14 +153,14 @@ class Autoscaler:
                 request.bsz * model.input_values
             )
             span = tracer.begin(request.ctx, "serving.decode")
-            yield self.env.timeout(decode)
+            yield self.env.service_timeout(decode)
             tracer.end(span)
             wait = tracer.begin(request.ctx, "serving.engine_wait")
             with service._engine.request() as slot:
                 yield slot
                 tracer.end(wait)
                 span = tracer.begin(request.ctx, "serving.inference")
-                yield self.env.timeout(
+                yield self.env.service_timeout(
                     service.costs.apply_time(
                         request.bsz,
                         vectorized=request.vectorized,
@@ -172,7 +172,7 @@ class Autoscaler:
                 request.bsz * model.output_values
             )
             span = tracer.begin(request.ctx, "serving.encode")
-            yield self.env.timeout(encode)
+            yield self.env.service_timeout(encode)
             tracer.end(span)
             # The client may have timed out and abandoned the reply.
             if not request.reply.triggered:
@@ -182,7 +182,7 @@ class Autoscaler:
     def _control_loop(self) -> typing.Generator:
         policy = self.policy
         while self.horizon is None or self.env.now < self.horizon:
-            yield self.env.timeout(policy.check_interval)
+            yield self.env.service_timeout(policy.check_interval)
             # Count only real requests, not retirement pills.
             queued = sum(
                 1 for item in self.service._queue.items

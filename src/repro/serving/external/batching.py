@@ -109,7 +109,7 @@ def _batch_worker(service) -> typing.Generator:
             total_points * model.input_values
         )
         spans = [tracer.begin(r.ctx, "serving.decode") for r in batch]
-        yield env.timeout(decode)
+        yield env.service_timeout(decode)
         for span in spans:
             tracer.end(span)
         spans = [tracer.begin(r.ctx, "serving.engine_wait") for r in batch]
@@ -122,7 +122,7 @@ def _batch_worker(service) -> typing.Generator:
                 tracer.begin(r.ctx, "serving.inference", coalesced=len(batch))
                 for r in batch
             ]
-            yield env.timeout(
+            yield env.service_timeout(
                 service.costs.apply_time(total_points, now=env.now)
             )
             for span in spans:
@@ -131,7 +131,7 @@ def _batch_worker(service) -> typing.Generator:
             total_points * model.output_values
         )
         spans = [tracer.begin(r.ctx, "serving.encode") for r in batch]
-        yield env.timeout(encode)
+        yield env.service_timeout(encode)
         for span in spans:
             tracer.end(span)
         for request in batch:

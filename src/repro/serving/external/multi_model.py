@@ -86,7 +86,7 @@ class MultiModelServer:
         the load is in progress; the switch itself is atomic.
         """
         self.start()
-        yield self.env.timeout(costs.load_time())
+        yield self.env.service_timeout(costs.load_time())
         self._active[name] = _Deployment(version=version, costs=costs)
         self.rollouts_completed += 1
 
@@ -115,14 +115,14 @@ class MultiModelServer:
             decode = self.channel.server_decode_cost(
                 request.bsz * model.input_values
             )
-            yield self.env.timeout(decode)
-            yield self.env.timeout(
+            yield self.env.service_timeout(decode)
+            yield self.env.service_timeout(
                 deployment.costs.apply_time(request.bsz, now=self.env.now)
             )
             encode = self.channel.server_encode_cost(
                 request.bsz * model.output_values
             )
-            yield self.env.timeout(encode)
+            yield self.env.service_timeout(encode)
             deployment.requests_served += 1
             request.reply.succeed(deployment.version)
 
@@ -138,12 +138,12 @@ class MultiModelServer:
             response_values=bsz * model.output_values,
         )
         start = self.env.now
-        yield self.env.timeout(costs.client_cpu)
-        yield self.env.timeout(costs.request_transfer)
+        yield self.env.service_timeout(costs.client_cpu)
+        yield self.env.service_timeout(costs.request_transfer)
         reply = Event(self.env)
         yield self._queue.put(_RoutedRequest(model=name, bsz=bsz, reply=reply))
         version = yield reply
-        yield self.env.timeout(costs.response_transfer)
+        yield self.env.service_timeout(costs.response_transfer)
         result = ScoringResult(
             points=bsz,
             output_values=bsz * model.output_values,

@@ -41,5 +41,5 @@ class RayServeTool(ExternalServingService):
             yield slot
             self.tracer.end(wait)
             span = self.tracer.begin(ctx, "serving.proxy")
-            yield self.env.timeout(cal.RAY_SERVE_PROXY_COST)
+            yield self.env.service_timeout(cal.RAY_SERVE_PROXY_COST)
             self.tracer.end(span)

@@ -97,7 +97,7 @@ class ExternalServingService(ServingTool):
                 request.bsz * model.input_values
             )
             span = self.tracer.begin(request.ctx, "serving.decode")
-            yield self.env.timeout(decode)
+            yield self.env.service_timeout(decode)
             self.tracer.end(span)
             # Inference proper runs under the engine's concurrency cap
             # (e.g. TF-Serving executes large models in one session).
@@ -108,7 +108,7 @@ class ExternalServingService(ServingTool):
                 span = self.tracer.begin(
                     request.ctx, "serving.inference", gpu=self.costs.gpu
                 )
-                yield self.env.timeout(
+                yield self.env.service_timeout(
                     self.costs.apply_time(
                         request.bsz,
                         vectorized=request.vectorized,
@@ -123,7 +123,7 @@ class ExternalServingService(ServingTool):
                 request.bsz * model.output_values
             )
             span = self.tracer.begin(request.ctx, "serving.encode")
-            yield self.env.timeout(encode)
+            yield self.env.service_timeout(encode)
             self.tracer.end(span)
             # The client may have timed out and abandoned the reply: the
             # work is done (and counted) but the response is dropped.
@@ -199,10 +199,10 @@ class ExternalServingService(ServingTool):
         )
         # Client-side CPU: stub call + request encode + response decode.
         span = self.tracer.begin(ctx, "rpc.client_cpu")
-        yield self.env.timeout(costs.client_cpu)
+        yield self.env.service_timeout(costs.client_cpu)
         self.tracer.end(span)
         span = self.tracer.begin(ctx, "rpc.request_transfer")
-        yield self.env.timeout(costs.request_transfer)
+        yield self.env.service_timeout(costs.request_transfer)
         self.tracer.end(span)
         if self._down:
             raise TransientError(f"{self.name}: server unavailable")
@@ -216,7 +216,7 @@ class ExternalServingService(ServingTool):
         )
         yield reply
         span = self.tracer.begin(ctx, "rpc.response_transfer")
-        yield self.env.timeout(costs.response_transfer)
+        yield self.env.service_timeout(costs.response_transfer)
         self.tracer.end(span)
         return ScoringResult(
             points=bsz,

@@ -64,12 +64,12 @@ class StateStore:
         misses = self._misses(n_keys)
         hits = n_keys - misses
         # Cache hits burn CPU on the calling thread.
-        yield self.env.timeout(hits * self.hit_cost)
+        yield self.env.service_timeout(hits * self.hit_cost)
         if misses:
             # Storage reads go through the store's bounded I/O lanes.
             with self._io.request() as lane:
                 yield lane
-                yield self.env.timeout(misses * self.miss_cost)
+                yield self.env.service_timeout(misses * self.miss_cost)
         self.keys_read += n_keys
         self.keys_missed += misses
         return misses

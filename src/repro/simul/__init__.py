@@ -1,10 +1,17 @@
 """Deterministic discrete-event simulation kernel.
 
 A small, SimPy-flavoured kernel: an :class:`~repro.simul.core.Environment`
-owns a time-ordered event heap; *processes* are Python generators that yield
-events (timeouts, resource requests, store gets...) and are resumed when
-those events fire. Ties in time are broken by a monotonically increasing
-sequence number, which makes every simulation fully deterministic.
+owns a time-ordered event scheduler (a calendar queue with a heap
+fallback — see :mod:`repro.simul.scheduler`); *processes* are Python
+generators that yield events (timeouts, resource requests, store
+gets...) and are resumed when those events fire. Ties in time are broken
+by a monotonically increasing sequence number, which makes every
+simulation fully deterministic regardless of the scheduler backend.
+
+Batches of homogeneous service-time events can be evaluated in one
+NumPy pass (:mod:`repro.simul.vector`), and fire-and-forget service
+waits can reuse pooled Timeout objects
+(:meth:`~repro.simul.core.Environment.service_timeout`).
 
 The kernel is the substrate for every simulated system in this repository:
 the message broker, the stream processors, and the serving services.
@@ -14,6 +21,8 @@ from repro.simul.core import Environment
 from repro.simul.events import AllOf, AnyOf, Event, Timeout
 from repro.simul.process import Interrupt, Process
 from repro.simul.resources import Resource, Store
+from repro.simul.scheduler import CalendarScheduler, HeapScheduler
+from repro.simul.vector import VectorTimeout, bulk_timeouts, homogeneous_service
 from repro.simul.monitor import Counter, TimeSeries
 from repro.simul.rng import RandomStreams
 
@@ -27,6 +36,11 @@ __all__ = [
     "Interrupt",
     "Resource",
     "Store",
+    "CalendarScheduler",
+    "HeapScheduler",
+    "VectorTimeout",
+    "bulk_timeouts",
+    "homogeneous_service",
     "Counter",
     "TimeSeries",
     "RandomStreams",

@@ -1,0 +1,218 @@
+"""Kernel events/sec microbenchmark.
+
+Measures the discrete-event kernel itself — no broker, engines, or
+serving stack — on three workload shapes:
+
+``churn``
+    Many processes each awaiting a long run of heterogeneous-delay
+    timeouts: the scalar scheduler + Timeout-slab path.
+
+``handoff``
+    Bounded producer/consumer store chains: zero-delay ``succeed``
+    traffic through the calendar scheduler's now lanes.
+
+``scalability``
+    The scalability-preset shape — workers draining batches of
+    homogeneous service times.  The pre-PR baseline schedules one
+    Timeout per event through the heap; the current path evaluates each
+    batch analytically in one NumPy pass
+    (:func:`repro.simul.vector.homogeneous_service`).
+
+Every workload is measured twice on the same machine and process:
+*baseline* (heap scheduler, per-event ``env.timeout`` — the pre-calendar
+kernel) and *current* (calendar scheduler, slab/vectorized paths), so
+the reported speedup is machine-relative and robust across hosts.
+
+This module reads the host's wall clock to time the kernel; the numbers
+feed ``BENCH_kernel.json`` and the results store, never a simulation.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import typing
+
+from repro.errors import SimulationError
+from repro.simul.core import Environment
+from repro.simul.resources import Store
+from repro.simul.vector import homogeneous_service
+
+#: Workloads in reporting order.
+WORKLOADS: tuple[str, ...] = ("churn", "handoff", "scalability")
+
+
+def _clock() -> float:
+    return time.perf_counter()  # crayfish: allow[wall-clock]: host-side benchmark timing of the kernel itself, never simulation input
+
+
+def _scaled(value: int, scale: float, floor: int = 1) -> int:
+    return max(floor, int(value * scale))
+
+
+# -- workload bodies --------------------------------------------------
+#
+# Each body takes a fresh Environment plus a `fast` flag (False =
+# pre-PR idiom, True = slab/vector idiom), runs to exhaustion, and
+# returns the number of logical events simulated. Delays come from a
+# tiny LCG so the schedule is varied but fully deterministic.
+
+
+def _churn(env: Environment, fast: bool, scale: float) -> int:
+    procs = _scaled(64, scale, floor=2)
+    steps = _scaled(500, scale, floor=10)
+    make = env.service_timeout if fast else env.timeout
+
+    def worker(k: int) -> typing.Generator:
+        state = (k * 2654435761 + 1) % 2147483647
+        for __ in range(steps):
+            state = (state * 1103515245 + 12345) % 2147483647
+            yield make((state % 1000) / 1.0e6)
+
+    for k in range(procs):
+        env.process(worker(k))
+    env.run()
+    return procs * steps
+
+
+def _handoff(env: Environment, fast: bool, scale: float) -> int:
+    chains = _scaled(32, scale, floor=2)
+    messages = _scaled(500, scale, floor=10)
+
+    def producer(box: Store) -> typing.Generator:
+        for i in range(messages):
+            yield box.put(i)
+
+    def consumer(box: Store) -> typing.Generator:
+        for __ in range(messages):
+            yield box.get()
+
+    for __ in range(chains):
+        box = Store(env, capacity=16)
+        env.process(producer(box))
+        env.process(consumer(box))
+    env.run()
+    return chains * messages
+
+
+def _scalability(env: Environment, fast: bool, scale: float) -> int:
+    workers = _scaled(16, scale, floor=2)
+    batches = _scaled(50, scale, floor=2)
+    per_batch = 64
+    service = 2.5e-4
+
+    def worker_scalar() -> typing.Generator:
+        for __ in range(batches):
+            for __k in range(per_batch):
+                yield env.timeout(service)
+
+    def worker_vector() -> typing.Generator:
+        for __ in range(batches):
+            yield homogeneous_service(env, per_batch, service)
+
+    for __ in range(workers):
+        env.process(worker_vector() if fast else worker_scalar())
+    env.run()
+    return workers * batches * per_batch
+
+
+_BODIES: dict[str, typing.Callable[[Environment, bool, float], int]] = {
+    "churn": _churn,
+    "handoff": _handoff,
+    "scalability": _scalability,
+}
+
+
+def _measure(
+    workload: str, fast: bool, scale: float, repeats: int
+) -> tuple[int, float]:
+    """Best-of-``repeats`` (events, seconds) for one workload mode."""
+    body = _BODIES[workload]
+    scheduler = "calendar" if fast else "heap"
+    best = float("inf")
+    events = 0
+    for __ in range(repeats):
+        # Collect garbage left by the previous measurement (and park the
+        # collector) so cross-mode allocation debt can't be billed to
+        # whichever mode happens to trip the next collection.
+        gc.collect()
+        gc.disable()
+        try:
+            env = Environment(scheduler=scheduler)
+            start = _clock()
+            events = body(env, fast, scale)
+            elapsed = _clock() - start
+        finally:
+            gc.enable()
+        if elapsed < best:
+            best = elapsed
+    return events, max(best, 1e-9)
+
+
+def run_kernel_bench(
+    workloads: typing.Sequence[str] = WORKLOADS,
+    scale: float = 1.0,
+    repeats: int = 3,
+) -> dict[str, dict]:
+    """Run the kernel microbenchmark; one entry per workload.
+
+    Entry shape (the ``BENCH_kernel.json`` schema)::
+
+        {"events": N,
+         "baseline": {"scheduler": "heap", "seconds": s, "events_per_sec": r},
+         "current":  {"scheduler": "calendar", "seconds": s, "events_per_sec": r},
+         "speedup": r_current / r_baseline}
+    """
+    if scale <= 0:
+        raise SimulationError(f"scale must be positive, got {scale}")
+    if repeats < 1:
+        raise SimulationError(f"repeats must be >= 1, got {repeats}")
+    entries: dict[str, dict] = {}
+    for workload in workloads:
+        if workload not in _BODIES:
+            raise SimulationError(
+                f"unknown kernel workload {workload!r}; "
+                f"expected one of {sorted(_BODIES)}"
+            )
+        events, base_seconds = _measure(workload, False, scale, repeats)
+        __, fast_seconds = _measure(workload, True, scale, repeats)
+        base_rate = events / base_seconds
+        fast_rate = events / fast_seconds
+        entries[workload] = {
+            "events": events,
+            "baseline": {
+                "scheduler": "heap",
+                "seconds": round(base_seconds, 6),
+                "events_per_sec": round(base_rate, 1),
+            },
+            "current": {
+                "scheduler": "calendar",
+                "seconds": round(fast_seconds, 6),
+                "events_per_sec": round(fast_rate, 1),
+            },
+            "speedup": round(fast_rate / base_rate, 3),
+        }
+    return entries
+
+
+def format_kernel_bench(entries: dict[str, dict]) -> str:
+    """Terminal table for one benchmark pass."""
+    from repro.core.report import format_table
+
+    rows = []
+    for workload in sorted(entries):
+        entry = entries[workload]
+        rows.append(
+            [
+                workload,
+                f"{entry['events']:,}",
+                f"{entry['baseline']['events_per_sec']:,.0f}",
+                f"{entry['current']['events_per_sec']:,.0f}",
+                f"{entry['speedup']:.2f}x",
+            ]
+        )
+    return format_table(
+        ["workload", "events", "heap ev/s", "calendar ev/s", "speedup"],
+        rows,
+        title="kernel microbenchmark",
+    )

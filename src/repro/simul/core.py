@@ -1,30 +1,43 @@
-"""The simulation environment: clock, event heap, run loop."""
+"""The simulation environment: clock, event scheduler, run loop."""
 
 from __future__ import annotations
 
-import heapq
 import typing
 
 from repro.errors import SimulationError
-from repro.simul.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.simul.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout
 from repro.simul.process import Process
+from repro.simul.scheduler import SCHEDULERS
 
 
 INFINITY = float("inf")
 
+#: Upper bound on Timeout objects kept in the slab pool.
+_TIMEOUT_POOL_CAP = 1024
+
 
 class Environment:
-    """Owns simulated time and the pending-event heap.
+    """Owns simulated time and the pending-event scheduler.
 
     Determinism: events scheduled for the same time fire in (priority,
-    insertion order). There is no wall-clock anywhere in the kernel.
+    insertion order) regardless of the scheduler backend ("calendar" by
+    default, "heap" as the reference fallback — see
+    :mod:`repro.simul.scheduler`). There is no wall-clock anywhere in
+    the kernel.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, scheduler: str = "calendar") -> None:
+        try:
+            factory = SCHEDULERS[scheduler]
+        except KeyError:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {sorted(SCHEDULERS)}"
+            ) from None
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sched = factory()
         self._seq = 0
         self._active_process: Process | None = None
+        self._timeout_pool: list[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -35,45 +48,61 @@ class Environment:
     def active_process(self) -> Process | None:
         return self._active_process
 
+    @property
+    def scheduler(self) -> str:
+        """Name of the scheduler backend in use."""
+        return self._sched.kind
+
     # -- scheduling --------------------------------------------------
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Queue ``event`` to be processed ``delay`` time units from now."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._sched.push((self._now + delay, priority, self._seq, event), self._now)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else INFINITY
+        return self._sched.peek()
 
     def step(self) -> None:
         """Process the single next event."""
         try:
-            self._now, __, __, event = heapq.heappop(self._queue)
+            entry = self._sched.pop()
         except IndexError:
             raise SimulationError("no more events") from None
+        self._now = entry[0]
+        event = entry[3]
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not callbacks:
+        if not event._ok and not callbacks and not event._defused:
             # A failed event nobody was waiting on (e.g. a crashed process
             # without a watcher): surface the error rather than drop it.
             raise typing.cast(BaseException, event._value)
+        if type(event) is Timeout and event._slab:
+            # Slab-allocated service timeout: every callback has run, so
+            # the object can be recycled by the next service_timeout().
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_CAP:
+                event._ok = True
+                event._value = PENDING
+                pool.append(event)
 
     def run(self, until: float | Event | None = None) -> object:
         """Run until the given time, event, or event-queue exhaustion.
 
         Returns the event's value when ``until`` is an event.
         """
+        sched = self._sched
         if until is None:
-            while self._queue:
+            while sched:
                 self.step()
             return None
 
         if isinstance(until, Event):
             stop = until
             while not stop.triggered or stop.callbacks is not None:
-                if not self._queue:
+                if not sched:
                     raise SimulationError(
                         "event queue drained before the awaited event fired"
                     )
@@ -87,7 +116,7 @@ class Environment:
             raise SimulationError(
                 f"cannot run backwards: until={deadline} < now={self._now}"
             )
-        while self._queue and self._queue[0][0] <= deadline:
+        while sched and sched.peek() <= deadline:
             self.step()
         self._now = deadline
         return None
@@ -99,6 +128,31 @@ class Environment:
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def service_timeout(self, delay: float, value: object = None) -> Timeout:
+        """A slab-recycled :class:`Timeout` for fire-and-forget waits.
+
+        Contract: the returned event must be yielded (awaited) directly
+        and dropped afterwards — never stored across steps, shared
+        between processes, or passed to :meth:`any_of`/:meth:`all_of`.
+        Once it fires, the object goes back to a pool and a later call
+        may hand out the very same instance.  Scheduling order and the
+        observed value are identical to :meth:`timeout`; only the
+        allocation is elided.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            timeout = Timeout(self, delay, value)
+            timeout._slab = True
+            return timeout
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        timeout = pool.pop()
+        timeout.callbacks = []
+        timeout._value = value
+        timeout.delay = delay
+        self.schedule(timeout, NORMAL, delay)
+        return timeout
 
     def process(self, generator: typing.Generator) -> Process:
         return Process(self, generator)

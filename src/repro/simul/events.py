@@ -25,6 +25,14 @@ class Event:
     (or the exception passed to :meth:`fail`).
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
+    #: A defused failure does not escalate out of the event loop when it
+    #: is processed without a watcher (set for deliberately interrupted
+    #: processes). Class-level default; :class:`~repro.simul.process.
+    #: Process` carries a writable slot.
+    _defused = False
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list | None = []
@@ -72,6 +80,14 @@ class Event:
         self.env.schedule(self, priority)
         return self
 
+    def _abandon(self) -> None:
+        """Hook: the waiter was cancelled while still queued.
+
+        Resource/store waiter events override this to drop themselves
+        from their wait queue eagerly instead of lingering until a
+        dispatch walks over them.
+        """
+
     def __repr__(self) -> str:
         # Address-free on purpose: reprs reach logs and trace diffs, and
         # id()-derived text differs between otherwise identical runs.
@@ -87,11 +103,14 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay", "_slab")
+
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
         super().__init__(env)
         self.delay = delay
+        self._slab = False
         self._ok = True
         self._value = value
         env.schedule(self, NORMAL, delay)
@@ -103,6 +122,8 @@ class Timeout(Event):
 class _Condition(Event):
     """Base for events that fire when some subset of child events fired."""
 
+    __slots__ = ("_events", "_remaining")
+
     def __init__(self, env: "Environment", events: typing.Sequence[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -113,6 +134,11 @@ class _Condition(Event):
         for event in self._events:
             if event.env is not env:
                 raise SimulationError("events from different environments")
+        for event in self._events:
+            if self.triggered:
+                # An earlier (already-processed) child decided the
+                # condition; don't attach to the remaining children.
+                break
             if event.callbacks is None:
                 self._check(event)
             else:
@@ -120,6 +146,22 @@ class _Condition(Event):
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
+
+    def _detach(self) -> None:
+        """Remove ``_check`` from children that have not fired yet.
+
+        Without this, every decided condition (e.g. a timeout-vs-result
+        race) would leave a dead callback on its still-pending children
+        for the rest of the run.
+        """
+        check = self._check
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass
 
     def _collect(self) -> dict:
         # Only events already *processed* count as "happened"; a Timeout
@@ -131,6 +173,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires when the first of the given events fires."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -138,16 +182,20 @@ class AnyOf(_Condition):
             self.fail(typing.cast(BaseException, event._value))
         else:
             self.succeed(self._collect())
+        self._detach()
 
 
 class AllOf(_Condition):
     """Fires once all of the given events have fired."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
         if not event.ok:
             self.fail(typing.cast(BaseException, event._value))
+            self._detach()
             return
         self._remaining -= 1
         if self._remaining == 0:

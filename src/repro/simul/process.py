@@ -5,7 +5,7 @@ from __future__ import annotations
 import typing
 
 from repro.errors import SimulationError
-from repro.simul.events import Event, NORMAL, URGENT
+from repro.simul.events import Event, NORMAL, PENDING, URGENT
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simul.core import Environment
@@ -26,12 +26,15 @@ class Process(Event):
     (its value is the generator's return value) or raises.
     """
 
+    __slots__ = ("_generator", "_target", "_defused")
+
     def __init__(self, env: "Environment", generator: typing.Generator) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Event | None = None
+        self._defused = False
         # Kick off the process at the current time via an initialisation
         # event so processes never run code during their own construction.
         init = Event(env)
@@ -42,13 +45,7 @@ class Process(Event):
 
     @property
     def is_alive(self) -> bool:
-        return self._value is self._pending_sentinel()
-
-    @staticmethod
-    def _pending_sentinel() -> object:
-        from repro.simul.events import PENDING
-
-        return PENDING
+        return self._value is PENDING
 
     def interrupt(self, cause: object = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -72,6 +69,10 @@ class Process(Event):
             # behind by the interrupt can never consume an item or slot.
             if not self._target.triggered:
                 self._target.succeed(Interrupt(cause))
+                # ... and tell the owning resource/store eagerly, so
+                # cancelled waiters don't pile up in its wait queue
+                # until the next dispatch happens to walk past them.
+                self._target._abandon()
         self._target = None
         self.env.schedule(event, URGENT)
 
@@ -92,6 +93,11 @@ class Process(Event):
                 # The generator chose not to handle the interrupt; treat it
                 # as a normal termination failure.
                 self.env._active_process = None
+                if not event.ok:
+                    # Death by an externally thrown interrupt means the
+                    # interruptor deliberately abandoned this process;
+                    # the failure must not escalate out of the loop.
+                    self._defused = True
                 self.fail(typing.cast(BaseException, event._value))
                 return
             except BaseException as error:

@@ -16,6 +16,15 @@ from repro.simul.events import Event
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simul.core import Environment
 
+_INF = float("inf")
+
+
+def _compact(
+    waiters: collections.deque,
+) -> collections.deque:
+    """Drop triggered (cancelled/abandoned) waiters from a wait queue."""
+    return collections.deque(w for w in waiters if not w.triggered)
+
 
 class Request(Event):
     """Pending acquisition of one resource slot. Usable as a context
@@ -26,10 +35,15 @@ class Request(Event):
             yield env.timeout(service_time)
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
         resource._enqueue(self)
+
+    def _abandon(self) -> None:
+        self.resource._mark_stale()
 
     def __enter__(self) -> "Request":
         return self
@@ -48,6 +62,7 @@ class Resource:
         self.capacity = capacity
         self.users: list[Request] = []
         self.queue: collections.deque[Request] = collections.deque()
+        self._stale = 0
 
     @property
     def count(self) -> int:
@@ -64,6 +79,14 @@ class Resource:
         else:
             self.queue.append(request)
 
+    def _mark_stale(self) -> None:
+        # A queued waiter was cancelled. Compact once cancelled entries
+        # dominate, so long chaos runs can't grow the queue unboundedly.
+        self._stale += 1
+        if self._stale * 2 > len(self.queue):
+            self.queue = _compact(self.queue)
+            self._stale = 0
+
     def release(self, request: Request) -> None:
         """Return a slot; hands it to the longest-waiting request."""
         try:
@@ -78,21 +101,37 @@ class Resource:
         while self.queue:
             waiter = self.queue.popleft()
             if waiter.triggered:
-                continue  # cancelled/interrupted waiter
+                # cancelled/interrupted waiter (possibly cancelled from
+                # outside interrupt(), which bypasses _mark_stale)
+                if self._stale:
+                    self._stale -= 1
+                continue
             self.users.append(waiter)
             waiter.succeed()
             break
 
 
 class StorePut(Event):
+    __slots__ = ("store", "item")
+
     def __init__(self, store: "Store", item: object) -> None:
         super().__init__(store.env)
+        self.store = store
         self.item = item
+
+    def _abandon(self) -> None:
+        self.store._mark_stale_putter()
 
 
 class StoreGet(Event):
+    __slots__ = ("store",)
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
+        self.store = store
+
+    def _abandon(self) -> None:
+        self.store._mark_stale_getter()
 
 
 class Store:
@@ -103,14 +142,30 @@ class Store:
     downstream ``get`` frees a slot.
     """
 
-    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
-        if capacity <= 0:
-            raise SimulationError(f"store capacity must be positive, got {capacity}")
+    def __init__(self, env: "Environment", capacity: float = _INF) -> None:
+        if capacity != _INF:
+            try:
+                valid = (
+                    not isinstance(capacity, bool)
+                    and float(capacity).is_integer()
+                    and capacity >= 1
+                )
+            except (TypeError, ValueError):
+                valid = False
+            if not valid:
+                # Fractional capacities such as 0.5 would pass a plain
+                # positivity check yet behave as a zero-capacity store
+                # (len(items) < 0.5 never admits an item).
+                raise SimulationError(
+                    f"store capacity must be an integer >= 1 or inf, got {capacity!r}"
+                )
         self.env = env
         self.capacity = capacity
         self.items: collections.deque[object] = collections.deque()
         self._putters: collections.deque[StorePut] = collections.deque()
         self._getters: collections.deque[StoreGet] = collections.deque()
+        self._stale_putters = 0
+        self._stale_getters = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -157,10 +212,24 @@ class Store:
         self._dispatch_putters()
         return True, item
 
+    def _mark_stale_getter(self) -> None:
+        self._stale_getters += 1
+        if self._stale_getters * 2 > len(self._getters):
+            self._getters = _compact(self._getters)
+            self._stale_getters = 0
+
+    def _mark_stale_putter(self) -> None:
+        self._stale_putters += 1
+        if self._stale_putters * 2 > len(self._putters):
+            self._putters = _compact(self._putters)
+            self._stale_putters = 0
+
     def _dispatch_getters(self) -> None:
         while self._getters and self.items:
             getter = self._getters.popleft()
             if getter.triggered:
+                if self._stale_getters:
+                    self._stale_getters -= 1
                 continue
             getter.succeed(self.items.popleft())
 
@@ -168,6 +237,8 @@ class Store:
         while self._putters and len(self.items) < self.capacity:
             putter = self._putters.popleft()
             if putter.triggered:
+                if self._stale_putters:
+                    self._stale_putters -= 1
                 continue
             self.items.append(putter.item)
             putter.succeed()

@@ -114,7 +114,7 @@ class FlinkProcessor(DataProcessor):
         """Returns the scoring result; ``None`` means the resilience layer
         shed the request and the event must not reach the sink."""
         span = self.tracer.begin(event.batch, "flink.score")
-        yield self.env.timeout(self.profile.score_overhead * self.slowdown)
+        yield self.env.service_timeout(self.profile.score_overhead * self.slowdown)
         result = yield from self.tool.score(event.batch.points, ctx=event.batch)
         self.tracer.end(span)
         return result
@@ -122,7 +122,7 @@ class FlinkProcessor(DataProcessor):
     def _sink(self, event: InputEvent) -> typing.Generator:
         batch = event.batch
         span = self.tracer.begin(batch, "flink.sink")
-        yield self.env.timeout(
+        yield self.env.service_timeout(
             (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
         )
         self.tracer.end(span)
@@ -143,7 +143,7 @@ class FlinkProcessor(DataProcessor):
             for event in events:
                 self.tracer.record(event.batch, "flink.task_queue", start=polled_at)
                 span = self.tracer.begin(event.batch, "flink.source")
-                yield self.env.timeout(self._source_cost(event))
+                yield self.env.service_timeout(self._source_cost(event))
                 self.tracer.end(span)
                 if inflight is None:
                     result = yield from self._score(event)
@@ -175,7 +175,7 @@ class FlinkProcessor(DataProcessor):
             for event in events:
                 self.tracer.record(event.batch, "flink.task_queue", start=polled_at)
                 span = self.tracer.begin(event.batch, "flink.source")
-                yield self.env.timeout(self._source_cost(event))
+                yield self.env.service_timeout(self._source_cost(event))
                 self.tracer.end(span)
                 self.tracer.mark(event.batch, "flink.windowed")
                 window.append(event)
@@ -193,7 +193,7 @@ class FlinkProcessor(DataProcessor):
             self.tracer.begin(event.batch, "flink.score", window=len(window))
             for event in window
         ]
-        yield self.env.timeout(self.profile.score_overhead * self.slowdown)
+        yield self.env.service_timeout(self.profile.score_overhead * self.slowdown)
         total_points = sum(event.batch.points for event in window)
         result = yield from self.tool.score(total_points)
         for span in spans:
@@ -220,7 +220,7 @@ class FlinkProcessor(DataProcessor):
             for event in events:
                 self.tracer.record(event.batch, "flink.task_queue", start=polled_at)
                 span = self.tracer.begin(event.batch, "flink.source")
-                yield self.env.timeout(self._source_cost(event))
+                yield self.env.service_timeout(self._source_cost(event))
                 self.tracer.end(span)
                 wait = self.tracer.begin(event.batch, "flink.buffer_wait")
                 yield downstream.put(event)  # blocks when buffers are full

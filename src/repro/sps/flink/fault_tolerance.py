@@ -127,7 +127,7 @@ class CheckpointedFlinkProcessor(FlinkProcessor):
             while True:
                 events = yield from source.poll()
                 for event in events:
-                    yield self.env.timeout(self._source_cost(event))
+                    yield self.env.service_timeout(self._source_cost(event))
                     result = yield from self._score(event)
                     if result is None:  # shed by the resilience layer
                         self.batches_shed += 1
@@ -138,7 +138,7 @@ class CheckpointedFlinkProcessor(FlinkProcessor):
 
     def _ft_sink(self, task_index: int, event: InputEvent) -> typing.Generator:
         batch = event.batch
-        yield self.env.timeout(
+        yield self.env.service_timeout(
             (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
         )
         if self.ft.guarantee == EXACTLY_ONCE:
@@ -152,11 +152,11 @@ class CheckpointedFlinkProcessor(FlinkProcessor):
 
     def _checkpoint_coordinator(self) -> typing.Generator:
         while True:
-            yield self.env.timeout(self.ft.checkpoint_interval)
+            yield self.env.service_timeout(self.ft.checkpoint_interval)
             if not self._tasks or not all(t.is_alive for t in self._tasks):
                 continue  # job is down; skip this checkpoint
             epoch = self._epoch
-            yield self.env.timeout(SNAPSHOT_PAUSE + CHECKPOINT_COMMIT_COST)
+            yield self.env.service_timeout(SNAPSHOT_PAUSE + CHECKPOINT_COMMIT_COST)
             if epoch != self._epoch:
                 continue  # a failure raced the checkpoint: it never completes
             for task_index, source in enumerate(self._sources):
@@ -174,7 +174,7 @@ class CheckpointedFlinkProcessor(FlinkProcessor):
     # -- failures ---------------------------------------------------------------
 
     def _failure_injector(self, failure_time: float) -> typing.Generator:
-        yield self.env.timeout(failure_time)
+        yield self.env.service_timeout(failure_time)
         if not self._tasks:
             return
         self.failures_injected += 1
@@ -185,7 +185,7 @@ class CheckpointedFlinkProcessor(FlinkProcessor):
         # Open transactions abort: their output is never seen downstream.
         self._txn_buffers = [[] for __ in range(self.mp)]
         self._tasks = []
-        yield self.env.timeout(self.ft.recovery_time)
+        yield self.env.service_timeout(self.ft.recovery_time)
         yield from self.tool.load()  # the model is reloaded on restart
         self.restarts += 1
         self._start_job(initial=False)

@@ -58,7 +58,7 @@ class KafkaStreamsProcessor(DataProcessor):
             polled_at = self.env.now
             # Poll-cycle bookkeeping (offset commits, rebalance liveness):
             # a fixed cost per cycle, amortized across the cycle's records.
-            yield self.env.timeout(cal.KAFKA_STREAMS_POLL_INTERVAL)
+            yield self.env.service_timeout(cal.KAFKA_STREAMS_POLL_INTERVAL)
             for event in events:
                 self.tracer.record(event.batch, "kafka_streams.poll", start=polled_at)
                 yield from self._process_one(event)
@@ -67,10 +67,10 @@ class KafkaStreamsProcessor(DataProcessor):
         batch = event.batch
         consume = (self.profile.source_overhead + self.decode_cost(batch)) * self.slowdown
         span = self.tracer.begin(batch, "kafka_streams.consume")
-        yield self.env.timeout(consume)
+        yield self.env.service_timeout(consume)
         self.tracer.end(span)
         span = self.tracer.begin(batch, "kafka_streams.score")
-        yield self.env.timeout(self.profile.score_overhead * self.slowdown)
+        yield self.env.service_timeout(self.profile.score_overhead * self.slowdown)
         result = yield from self.tool.score(batch.points, ctx=batch)
         self.tracer.end(span)
         if result is None:  # shed by the resilience layer
@@ -78,6 +78,6 @@ class KafkaStreamsProcessor(DataProcessor):
             return
         produce = (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
         span = self.tracer.begin(batch, "kafka_streams.produce")
-        yield self.env.timeout(produce)
+        yield self.env.service_timeout(produce)
         self.tracer.end(span)
         self.emit_and_complete(batch)

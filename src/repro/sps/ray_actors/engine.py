@@ -66,7 +66,7 @@ class RayProcessor(DataProcessor):
             for event in events:
                 self.tracer.record(event.batch, "ray.task_queue", start=polled_at)
                 span = self.tracer.begin(event.batch, "ray.input_actor")
-                yield self.env.timeout(
+                yield self.env.service_timeout(
                     cal.RAY_ACTOR_OVERHEAD
                     + self.profile.source_overhead
                     + self.decode_cost(event.batch)
@@ -82,7 +82,7 @@ class RayProcessor(DataProcessor):
             event = yield upstream.get()
             self.tracer.lapse(event.batch, "ray.mailbox_dwell", "ray.mailbox")
             span = self.tracer.begin(event.batch, "ray.scoring_actor")
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 cal.RAY_ACTOR_OVERHEAD + self.profile.score_overhead
             )
             self.tracer.end(span)
@@ -92,7 +92,7 @@ class RayProcessor(DataProcessor):
                 yield slot
                 self.tracer.end(wait)
                 span = self.tracer.begin(event.batch, "ray.scheduler")
-                yield self.env.timeout(cal.RAY_NODE_PER_MESSAGE)
+                yield self.env.service_timeout(cal.RAY_NODE_PER_MESSAGE)
                 self.tracer.end(span)
             span = self.tracer.begin(event.batch, "ray.score")
             result = yield from self.tool.score(event.batch.points, ctx=event.batch)
@@ -111,7 +111,7 @@ class RayProcessor(DataProcessor):
             batch = event.batch
             self.tracer.lapse(batch, "ray.mailbox_dwell", "ray.mailbox")
             span = self.tracer.begin(batch, "ray.output_actor")
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 cal.RAY_ACTOR_OVERHEAD
                 + self.profile.sink_overhead
                 + self.encode_cost(batch)

@@ -64,7 +64,7 @@ class SparkProcessor(DataProcessor):
             polled_at = self.env.now
             # Trigger: planning + commit, plus serialized per-event driver
             # bookkeeping (collect, offsets, progress reporting).
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 cal.SPARK_TRIGGER_OVERHEAD
                 + len(events) * cal.SPARK_DRIVER_PER_EVENT
             )
@@ -101,7 +101,7 @@ class SparkProcessor(DataProcessor):
             spans = [
                 self.tracer.begin(e.batch, "spark.executor_fetch") for e in events
             ]
-            yield self.env.timeout(LAN.transfer_time(chunk_bytes))
+            yield self.env.service_timeout(LAN.transfer_time(chunk_bytes))
             for span in spans:
                 self.tracer.end(span)
         decode = sum(self.decode_cost(e.batch) for e in events)
@@ -109,7 +109,7 @@ class SparkProcessor(DataProcessor):
             self.profile.source_overhead + self.profile.score_overhead
         )
         spans = [self.tracer.begin(e.batch, "spark.chunk_cpu") for e in events]
-        yield self.env.timeout((decode + overheads) * self.slowdown)
+        yield self.env.service_timeout((decode + overheads) * self.slowdown)
         for span in spans:
             self.tracer.end(span)
         # One batched, vectorized inference call for the whole chunk.
@@ -127,7 +127,7 @@ class SparkProcessor(DataProcessor):
         for event in events:
             batch = event.batch
             span = self.tracer.begin(batch, "spark.sink")
-            yield self.env.timeout(
+            yield self.env.service_timeout(
                 (self.profile.sink_overhead + self.encode_cost(batch)) * self.slowdown
             )
             self.tracer.end(span)

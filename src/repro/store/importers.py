@@ -124,6 +124,81 @@ def record_bench_entries(
     return report
 
 
+def kernel_label(workload: str) -> str:
+    """Config-style label for one kernel-bench workload.
+
+    Three segments so ``parse_label``/history filters treat kernel
+    entries like any other run: pseudo-engine ``kernel``, pseudo-serving
+    ``sim``, workload as the model position.
+    """
+    return f"kernel/sim/{workload}"
+
+
+def record_kernel_entries(
+    store: ResultStore,
+    entries: dict[str, dict],
+    source: str = "kernel-bench",
+    origin: dict | None = None,
+) -> ImportReport:
+    """Record workload → events/sec entries (the BENCH_kernel shape).
+
+    Each entry is one kernel microbenchmark workload as produced by
+    :func:`repro.simul.bench.run_kernel_bench`; the current calendar-
+    scheduler events/sec lands in the ``throughput`` column so the
+    ``crayfish trend``/``regress`` machinery applies unchanged. Shared
+    by the BENCH_kernel importer and the live ``crayfish kernel-bench``
+    recorder so both feed the same longitudinal slots.
+    """
+    report = ImportReport()
+    for workload in sorted(entries):
+        entry = entries[workload]
+        label = kernel_label(workload)
+        current = entry.get("current") or {}
+        record = {
+            "config": {"sps": "kernel", "serving": "sim", "model": workload},
+            "throughput": current.get("events_per_sec"),
+            "completed": entry.get("events"),
+            "kernel": entry,
+        }
+        if origin:
+            record["import"] = dict(origin, label=label)
+        row = run_row_from_record(
+            record,
+            kind="kernel",
+            source=source,
+            fingerprint=store.fingerprint,
+            git_rev=store.git_rev,
+            recorded_at=store.clock(),
+            label=label,
+        )
+        row = dataclasses.replace(row, slot_id=bench_slot(label))
+        store._insert_row(row)
+        report.runs += 1
+    return report
+
+
+def import_kernel_bench(
+    store: ResultStore, path: str | pathlib.Path
+) -> ImportReport:
+    """Backfill the BENCH_kernel.json events/sec trajectory."""
+    report = ImportReport()
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return report
+    if not _claim(store, path, "bench_kernel", report):
+        return report
+    payload = json.loads(path.read_text())
+    report.merge(
+        record_kernel_entries(
+            store,
+            payload,
+            source="import:bench_kernel",
+            origin={"source": str(path)},
+        )
+    )
+    return report
+
+
 def import_bench_metrics(
     store: ResultStore, path: str | pathlib.Path
 ) -> ImportReport:
@@ -292,6 +367,10 @@ def import_all(
         (
             "BENCH_metrics.json",
             lambda: import_bench_metrics(store, root / "BENCH_metrics.json"),
+        ),
+        (
+            "BENCH_kernel.json",
+            lambda: import_kernel_bench(store, root / "BENCH_kernel.json"),
         ),
         (
             "tests/golden/matrix_golden.json",

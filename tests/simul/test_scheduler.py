@@ -1,0 +1,209 @@
+"""Scheduler backends: calendar/heap equivalence and kernel edge semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simul import Environment
+from repro.simul.events import NORMAL, URGENT
+from repro.simul.scheduler import CalendarScheduler, HeapScheduler, SCHEDULERS
+
+
+def _lcg(seed):
+    state = seed % 2147483647 or 1
+    while True:
+        state = (state * 1103515245 + 12345) % 2147483647
+        yield state
+
+
+def _drive(scheduler, seed, ops=2000):
+    """Feed a seeded mixed push/pop trace; return the pop order.
+
+    The trace mimics kernel traffic: zero-delay entries at both
+    priorities (now-lane candidates), short delays (epoch candidates),
+    and occasional far-future delays (heap candidates), with pops
+    interleaved so `now` advances mid-stream.
+    """
+    rand = _lcg(seed)
+    now = 0.0
+    seq = 0
+    popped = []
+    for __ in range(ops):
+        roll = next(rand) % 10
+        if roll < 6 or not len(scheduler):
+            seq += 1
+            shape = next(rand) % 10
+            if shape < 3:
+                delay = 0.0
+                priority = URGENT if shape == 0 else NORMAL
+            elif shape < 8:
+                delay = (next(rand) % 1000) / 1.0e4
+                priority = NORMAL
+            else:
+                delay = 10.0 + (next(rand) % 1000)
+                priority = NORMAL
+            scheduler.push((now + delay, priority, seq, f"e{seq}"), now)
+        else:
+            entry = scheduler.pop()
+            assert entry[0] >= now
+            now = entry[0]
+            popped.append(entry)
+    while len(scheduler):
+        entry = scheduler.pop()
+        assert entry[0] >= now
+        now = entry[0]
+        popped.append(entry)
+    return popped
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234, 99991])
+def test_calendar_matches_heap_on_mixed_traffic(seed):
+    assert _drive(CalendarScheduler(), seed) == _drive(HeapScheduler(), seed)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 2026])
+def test_calendar_matches_heap_with_tiny_epoch(seed):
+    # target/max_epoch small enough that every refill path (cap trip,
+    # width halving/doubling, single-entry fallback) is exercised.
+    tiny = CalendarScheduler(target=4, max_epoch=8)
+    assert _drive(tiny, seed) == _drive(HeapScheduler(), seed)
+
+
+def test_push_batch_matches_individual_pushes():
+    batch_sched = CalendarScheduler()
+    loose_sched = CalendarScheduler()
+    # A live epoch tail first, so the batch merges with existing entries.
+    for scheduler in (batch_sched, loose_sched):
+        scheduler.push((5.0, NORMAL, 1, "tail-a"), 0.0)
+        scheduler.push((9.0, NORMAL, 2, "tail-b"), 0.0)
+    entries = [(1.0 + k, NORMAL, 3 + k, f"b{k}") for k in range(6)]
+    batch_sched.push_batch(entries, 0.0)
+    for entry in entries:
+        loose_sched.push(entry, 0.0)
+    order_batch = [batch_sched.pop() for __ in range(len(batch_sched))]
+    order_loose = [loose_sched.pop() for __ in range(len(loose_sched))]
+    assert order_batch == order_loose
+    assert [e[3] for e in order_batch][:2] == ["b0", "b1"]
+
+
+def test_push_batch_empty_is_noop():
+    scheduler = CalendarScheduler()
+    scheduler.push_batch([], 0.0)
+    assert len(scheduler) == 0
+    assert scheduler.peek() == float("inf")
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_peek_tracks_minimum(kind):
+    scheduler = SCHEDULERS[kind]()
+    assert scheduler.peek() == float("inf")
+    scheduler.push((7.0, NORMAL, 1, "late"), 0.0)
+    scheduler.push((2.0, NORMAL, 2, "early"), 0.0)
+    scheduler.push((0.0, URGENT, 3, "now"), 0.0)
+    assert scheduler.peek() == 0.0
+    assert scheduler.pop()[3] == "now"
+    assert scheduler.peek() == 2.0
+
+
+def test_pop_empty_raises_index_error():
+    for kind in sorted(SCHEDULERS):
+        with pytest.raises(IndexError):
+            SCHEDULERS[kind]().pop()
+
+
+def test_epoch_prefix_compaction_bounds_memory():
+    scheduler = CalendarScheduler()
+    # Alternate push/pop at ever-increasing times: without prefix
+    # shedding the epoch list would retain every consumed entry.
+    now = 0.0
+    for seq in range(1, 20001):
+        scheduler.push((now + 0.5, NORMAL, seq, None), now)
+        now = scheduler.pop()[0]
+    assert len(scheduler._epoch) - scheduler._epoch_i <= 1
+    assert len(scheduler._epoch) < 8192
+
+
+def test_environment_rejects_unknown_scheduler():
+    with pytest.raises(SimulationError):
+        Environment(scheduler="fifo")
+
+
+# -- kernel edge semantics, identical across backends -----------------
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_same_time_events_fire_in_priority_then_insertion_order(kind):
+    env = Environment(scheduler=kind)
+    order = []
+    first = env.event()
+    second = env.event()
+    urgent = env.event()
+    first.callbacks.append(lambda e: order.append("first"))
+    second.callbacks.append(lambda e: order.append("second"))
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    first.succeed()
+    second.succeed()
+    urgent.succeed(priority=URGENT)
+    env.run()
+    assert order == ["urgent", "first", "second"]
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_same_time_timeouts_fire_in_creation_order(kind):
+    env = Environment(scheduler=kind)
+    fired = []
+
+    def proc(tag):
+        yield env.timeout(3.0)
+        fired.append(tag)
+
+    for tag in ("a", "b", "c", "d"):
+        env.process(proc(tag))
+    env.run()
+    assert fired == ["a", "b", "c", "d"]
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_run_until_already_processed_event_returns_immediately(kind):
+    env = Environment(scheduler=kind)
+    timeout = env.timeout(1.0, value="tick")
+    env.run(until=10)
+    assert timeout.processed
+    # No pending events are consumed and the clock does not move.
+    sentinel = env.timeout(100.0)
+    assert env.run(until=timeout) == "tick"
+    assert env.now == 10.0
+    assert not sentinel.processed
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_failed_event_without_watcher_escalates_from_step(kind):
+    env = Environment(scheduler=kind)
+
+    def crasher():
+        yield env.timeout(1.0)
+        raise ValueError("unwatched crash")
+
+    env.process(crasher())
+    with pytest.raises(ValueError, match="unwatched crash"):
+        env.run()
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_run_until_deadline_advances_clock_past_empty_queue(kind):
+    env = Environment(scheduler=kind)
+
+    def proc():
+        yield env.timeout(2.0)
+
+    env.process(proc())
+    env.run(until=50)
+    # The queue drained at t=2 but the clock still lands on the deadline.
+    assert env.now == 50.0
+    assert env.peek() == float("inf")
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_run_until_event_never_fired_raises(kind):
+    env = Environment(scheduler=kind)
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(until=env.event())

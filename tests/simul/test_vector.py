@@ -1,0 +1,135 @@
+"""Vectorized event batches: equivalence with scalar scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simul import Environment, VectorTimeout, bulk_timeouts, homogeneous_service
+
+
+def _fire_log(env, events):
+    log = []
+    for k, event in enumerate(events):
+        event.callbacks.append(
+            lambda e, k=k: log.append((round(env.now, 12), k, e.value))
+        )
+    return log
+
+
+def test_bulk_timeouts_matches_individual_timeouts():
+    delays = [3.0, 0.5, 3.0, 1.25, 0.0, 7.5, 0.5]
+    values = [f"v{k}" for k in range(len(delays))]
+
+    env_a = Environment()
+    log_a = _fire_log(env_a, bulk_timeouts(env_a, delays, values))
+    env_a.run()
+
+    env_b = Environment()
+    log_b = _fire_log(
+        env_b, [env_b.timeout(d, v) for d, v in zip(delays, values)]
+    )
+    env_b.run()
+
+    assert log_a == log_b
+    # Equal delays fire in creation order (indices 1 then 6, 0 then 2).
+    ks = [entry[1] for entry in log_a]
+    assert ks.index(1) < ks.index(6)
+    assert ks.index(0) < ks.index(2)
+
+
+def test_bulk_timeouts_interleaves_with_scalar_events():
+    env = Environment()
+    order = []
+
+    def scalar(tag, delay):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(scalar("before", 0.5))
+    batch = bulk_timeouts(env, [0.25, 1.0])
+    for k, event in enumerate(batch):
+        event.callbacks.append(lambda e, k=k: order.append(f"bulk{k}"))
+    env.process(scalar("after", 2.0))
+    env.run()
+    assert order == ["bulk0", "before", "bulk1", "after"]
+
+
+def test_bulk_timeouts_validation():
+    env = Environment()
+    assert bulk_timeouts(env, []) == []
+    with pytest.raises(SimulationError):
+        bulk_timeouts(env, [[1.0, 2.0]])
+    with pytest.raises(SimulationError):
+        bulk_timeouts(env, [1.0, -0.5])
+    with pytest.raises(SimulationError):
+        bulk_timeouts(env, [1.0, 2.0], values=["only-one"])
+
+
+def test_bulk_timeouts_accepts_numpy_delays():
+    env = Environment()
+    events = bulk_timeouts(env, np.asarray([2.0, 1.0]))
+    log = _fire_log(env, events)
+    env.run()
+    assert [entry[:2] for entry in log] == [(1.0, 1), (2.0, 0)]
+
+
+def test_homogeneous_service_clock_matches_scalar_loop():
+    def final_time(fast):
+        env = Environment()
+
+        def worker():
+            for __ in range(5):
+                if fast:
+                    yield homogeneous_service(env, 16, 0.125)
+                else:
+                    for __k in range(16):
+                        yield env.timeout(0.125)
+
+        env.process(worker())
+        env.run()
+        return env.now
+
+    assert final_time(True) == final_time(False) == 5 * 16 * 0.125
+
+
+def test_homogeneous_service_value_is_completion_times():
+    env = Environment()
+    seen = []
+
+    def worker():
+        times = yield homogeneous_service(env, 4, 0.5)
+        seen.append(np.asarray(times).tolist())
+
+    env.process(worker())
+    env.run()
+    assert seen == [[0.5, 1.0, 1.5, 2.0]]
+    assert env.now == 2.0
+
+
+def test_homogeneous_service_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        homogeneous_service(env, 0, 1.0)
+    with pytest.raises(SimulationError):
+        homogeneous_service(env, 4, -1.0)
+
+
+def test_vector_timeout_rejects_bad_fire_times():
+    env = Environment()
+    env.run(until=env.timeout(5.0))
+    with pytest.raises(SimulationError):
+        VectorTimeout(env, np.asarray([]))
+    with pytest.raises(SimulationError):
+        VectorTimeout(env, np.asarray([[6.0]]))
+    with pytest.raises(SimulationError):
+        VectorTimeout(env, np.asarray([1.0]))  # in the past (now == 5)
+    with pytest.raises(SimulationError):
+        VectorTimeout(env, np.asarray([8.0, 7.0]))  # descending
+
+
+def test_vector_timeout_zero_count_of_one():
+    env = Environment()
+    vt = VectorTimeout(env, np.asarray([0.0]))
+    assert vt.count == 1
+    env.run()
+    assert env.now == 0.0
