@@ -119,6 +119,10 @@ class Rule:
     name: typing.ClassVar[str] = ""
     #: One-line summary for ``crayfish lint --rules``.
     description: typing.ClassVar[str] = ""
+    #: Dynamic rules report at runtime (sanitizer/tracker layers), not
+    #: from the static pass: their pragmas legitimately suppress nothing
+    #: during a lint and are exempt from dead-pragma hygiene.
+    dynamic: typing.ClassVar[bool] = False
 
     def check(self, module: ModuleContext) -> typing.Iterator[Finding]:
         raise NotImplementedError
@@ -166,10 +170,18 @@ def _pragma_findings(
     pragmas: typing.Sequence[Pragma],
     used: typing.Collection[Pragma],
     path: str,
+    active: typing.Collection[str] | None = None,
 ) -> list[Finding]:
-    """Pragma hygiene: reasons are mandatory, dead pragmas are errors."""
+    """Pragma hygiene: reasons are mandatory, dead pragmas are errors.
+
+    A pragma can only be proven dead when every rule it names actually
+    ran: under ``--select``/``--ignore`` the unselected rules' pragmas
+    are left alone rather than reported as suppressing nothing.
+    """
     findings = []
     known = set(rule_names())
+    if active is None:
+        active = known
     for pragma in pragmas:
         for rule in pragma.rules:
             if rule not in known:
@@ -187,7 +199,14 @@ def _pragma_findings(
                     "'# crayfish: allow[rule]: why this is safe'",
                 )
             )
-        elif pragma not in used and all(r in known for r in pragma.rules):
+        elif (
+            pragma not in used
+            and all(r in known for r in pragma.rules)
+            and all(r in active for r in pragma.rules)
+            and not any(
+                _REGISTRY[r].dynamic for r in pragma.rules if r in _REGISTRY
+            )
+        ):
             findings.append(
                 Finding(
                     PRAGMA_RULE, path, pragma.line, 0,
@@ -231,7 +250,9 @@ def lint_source(
             suppressed.append(Suppressed(finding, pragma))
             if pragma not in used:
                 used.append(pragma)
-    kept.extend(_pragma_findings(pragmas, used, path))
+    kept.extend(
+        _pragma_findings(pragmas, used, path, {rule.name for rule in rules})
+    )
     kept.sort(key=lambda f: (f.line, f.col, f.rule))
     return FileReport(path, tuple(kept), tuple(suppressed), tuple(pragmas))
 

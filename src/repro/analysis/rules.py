@@ -276,6 +276,37 @@ def _is_keys_call(node: ast.AST) -> bool:
     )
 
 
+def _is_values_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "values"
+        and not node.args
+        and not node.keywords
+    )
+
+
+#: Calls that enqueue simulation work: the order members reach these in
+#: IS event order, so the feeding iteration must be explicitly ordered.
+_SCHEDULING_CALLS = frozenset({"process", "push_batch", "spawn", "_spawn"})
+
+
+def _schedules_work(nodes: typing.Iterable[ast.AST]) -> bool:
+    """True when any node (sub)tree calls into event scheduling."""
+    for root in nodes:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) in _SCHEDULING_CALLS:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SCHEDULING_CALLS
+            ):
+                return True
+    return False
+
+
 @register
 class UnsortedIterationRule(Rule):
     """Set/keys iteration order must not escape into ordered output."""
@@ -290,6 +321,16 @@ class UnsortedIterationRule(Rule):
         "iteration order of {what} can leak arbitrary ordering into "
         "results, exports, or event scheduling; wrap it in sorted(...) "
         "(or restructure so order cannot escape)"
+    )
+
+    #: ``.values()`` views are insertion-ordered, so they are exempt from
+    #: the generic check — but when the loop body *schedules events*
+    #: (env.process / push_batch), spawn order silently inherits whatever
+    #: built the dict; that dependency must be made explicit.
+    _VALUES_MESSAGE = (
+        "iterating a .values() view into event scheduling makes spawn "
+        "order an accident of dict build order; iterate "
+        "sorted(d.items()) (or another explicit order) instead"
     )
 
     def _flag(
@@ -322,12 +363,18 @@ class UnsortedIterationRule(Rule):
             iterables: list[ast.AST] = []
             if isinstance(node, ast.For):
                 iterables.append(node.iter)
+                if _is_values_call(node.iter) and _schedules_work(node.body):
+                    yield self.finding(module, node.iter, self._VALUES_MESSAGE)
             elif isinstance(
                 node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
             ):
                 if self._order_insensitive_context(module, node):
                     continue
                 iterables.extend(g.iter for g in node.generators)
+                if any(
+                    _is_values_call(g.iter) for g in node.generators
+                ) and _schedules_work([node]):
+                    yield self.finding(module, node, self._VALUES_MESSAGE)
             elif isinstance(node, ast.Call):
                 name = _call_name(node)
                 if name in ("list", "tuple", "enumerate", "iter"):

@@ -107,13 +107,21 @@ def _maybe_dump(args: argparse.Namespace, results) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = _config_from(args, ir=args.ir)
-    if args.sanitize:
-        from repro.analysis.sanitizer import determinism_sanitizer
+    import contextlib
 
-        with determinism_sanitizer():
-            result = run_experiment(config)
-    else:
+    config = _config_from(args, ir=args.ir)
+    tracker = None
+    with contextlib.ExitStack() as stack:
+        if args.sanitize:
+            from repro.analysis.sanitizer import determinism_sanitizer
+
+            stack.enter_context(determinism_sanitizer())
+        if args.tie_track:
+            from repro.analysis.tierace import TieTracker
+            from repro.simul.core import kernel_overrides
+
+            tracker = TieTracker()
+            stack.enter_context(kernel_overrides(tracker=tracker))
         result = run_experiment(config)
     rows = [
         ("throughput (events/s)", format_rate(result.throughput)),
@@ -126,7 +134,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Recording happens dead last — after the simulation and every
     # export — so the sanitizer and determinism checks never see it.
     _record_results(_open_store(args), [result], kind="run")
+    if tracker is not None and _report_tie_conflicts(tracker):
+        return 1
     return 0
+
+
+def _report_tie_conflicts(tracker) -> bool:
+    """Print the tie-race report; True when unsuppressed conflicts exist."""
+    kept, suppressed = tracker.apply_pragmas()
+    print(
+        f"tie tracker: {tracker.accesses_recorded} shared-state access(es) "
+        f"recorded, {len(kept)} conflict(s), {len(suppressed)} suppressed"
+    )
+    for conflict in kept:
+        print(f"  CONFIRMED {conflict.describe()}")
+    for conflict in suppressed:
+        print(f"  suppressed {conflict.describe()}")
+    if kept:
+        print(
+            "unsuppressed tie-class conflicts: pop order inside one "
+            "(time, priority) class decides results; fix the ordering or "
+            "add '# crayfish: allow[tie-race]: reason' at an access site"
+        )
+    return bool(kept)
 
 
 def _add_matrix_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -867,6 +897,21 @@ def _cmd_cluster_capacity(args: argparse.Namespace) -> int:
     return 0 if curve.monotonic else 1
 
 
+def _lint_rule_selection(args: argparse.Namespace) -> list[str]:
+    """Resolve --select/--ignore (and the legacy --only alias) to rule
+    names. Raises ValueError on an unknown rule in either list."""
+    from repro.analysis.core import rule_names
+
+    select = args.select or args.only
+    known = set(rule_names())
+    base = set(select.split(",")) if select else set(known)
+    ignored = set(args.ignore.split(",")) if args.ignore else set()
+    unknown = sorted((base | ignored) - known)
+    if unknown:
+        raise ValueError(f"unknown lint rule(s): {', '.join(unknown)}")
+    return sorted(base - ignored)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.core import lint_paths, make_rules
     from repro.analysis.report import (
@@ -879,20 +924,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule in make_rules():
             print(f"{rule.name}: {rule.description}")
         return 0
-    only = args.only.split(",") if args.only else None
     try:
-        reports = lint_paths(args.paths, rules=make_rules(only))
+        reports = lint_paths(args.paths, rules=make_rules(_lint_rule_selection(args)))
     except (FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.list_suppressions:
         print(render_suppressions(reports))
         return 0
+    if args.check_suppressions:
+        return _check_suppressions(args.suppressions_file, args.paths, reports)
     if args.format == "json":
         print(render_json(reports))
     else:
         print(render_text(reports, show_suppressed=args.show_suppressed))
     return 0 if all(r.clean for r in reports) else 1
+
+
+def _check_suppressions(target: str, paths, reports) -> int:
+    """Suppression-inventory freshness gate (``--check-suppressions``).
+
+    A stale inventory is actionable, not just nonzero: print the unified
+    diff between the committed file and the regenerated one, plus the
+    exact command that refreshes it.
+    """
+    import difflib
+
+    from repro.analysis.report import render_suppressions
+
+    expected = render_suppressions(reports) + "\n"
+    committed_path = pathlib.Path(target)
+    committed = committed_path.read_text() if committed_path.exists() else ""
+    if committed == expected:
+        print(f"{target} is fresh ({len(reports)} file(s) linted)")
+        return 0
+    sys.stdout.writelines(
+        difflib.unified_diff(
+            committed.splitlines(keepends=True),
+            expected.splitlines(keepends=True),
+            fromfile=f"{target} (committed)",
+            tofile=f"{target} (regenerated)",
+        )
+    )
+    lint_args = " ".join(str(p) for p in paths)
+    print(f"{target} is stale; regenerate with:")
+    print(f"  crayfish lint --list-suppressions {lint_args} > {target}")
+    return 1
 
 
 def _cmd_verify_determinism(args: argparse.Namespace) -> int:
@@ -945,6 +1022,72 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
         print(f"NONDETERMINISM DETECTED in: {', '.join(failed)}")
         return 1
     print(f"all {len(verdicts)} engine(s) reproduce byte-identically")
+    return 0
+
+
+def _cmd_verify_order(args: argparse.Namespace) -> int:
+    from repro.analysis.order import verify_order
+
+    extra: dict[str, typing.Any] = {}
+    if args.nodes > 0:
+        from repro.cluster.spec import ClusterSpec
+
+        extra["cluster"] = ClusterSpec(nodes=args.nodes)
+        extra["use_broker"] = True
+        extra["partitions"] = max(32, args.mp * args.nodes)
+    config = ExperimentConfig(
+        sps=SPS_NAMES[0],
+        serving=args.serving,
+        model=args.model,
+        bsz=args.bsz,
+        mp=args.mp,
+        seed=args.seed,
+        duration=args.duration,
+        ir=args.ir,
+        **extra,
+    )
+    engines = SPS_NAMES if args.sps == "all" else (args.sps,)
+    schedulers = tuple(args.schedulers.split(","))
+    verdicts = verify_order(
+        config,
+        engines=engines,
+        permutations=args.permutations,
+        schedulers=schedulers,
+        sanitize=not args.no_sanitize,
+    )
+    rows = []
+    for verdict in verdicts:
+        if verdict.identical:
+            digest = dict(verdict.baseline)["results.json"][:12]
+            rows.append((verdict.sps, "order-independent", digest))
+        else:
+            rows.append(
+                (verdict.sps, "ORDER-DEPENDENT", ", ".join(verdict.mismatched))
+            )
+    print(
+        format_table(
+            ["engine", "perturbation verdict", "results sha256 / diffs"],
+            rows,
+            title=(
+                f"verify-order: {args.serving}/{args.model} ir={args.ir} "
+                f"duration={args.duration}s seed={args.seed} "
+                f"permutations={args.permutations}"
+            ),
+        )
+    )
+    failed = [v.sps for v in verdicts if not v.identical]
+    if failed:
+        print(
+            "ORDERING HAZARD: exports depend on event-tie pop order in: "
+            + ", ".join(failed)
+        )
+        print("locate the conflicting sites with: crayfish run --tie-track")
+        return 1
+    perturbed = args.permutations * len(schedulers)
+    print(
+        f"all {len(verdicts)} engine(s) byte-identical across "
+        f"{perturbed} perturbed schedule(s) + heap/calendar baselines"
+    )
     return 0
 
 
@@ -1279,6 +1422,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the determinism sanitizer: wall-clock and "
         "global-RNG calls raise instead of corrupting results",
     )
+    run_cmd.add_argument(
+        "--tie-track", action="store_true", dest="tie_track",
+        help="record shared-state accesses per event-tie class and "
+        "report CONFIRMED pop-order races (nonzero exit when any are "
+        "unsuppressed)",
+    )
     _add_store_args(run_cmd)
     run_cmd.set_defaults(func=_cmd_run)
 
@@ -1525,8 +1674,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format",
     )
     lint_cmd.add_argument(
-        "--only", default=None,
-        help="comma-separated subset of rules to run",
+        "--select", default=None, metavar="RULE[,RULE...]",
+        help="run only these rules",
+    )
+    lint_cmd.add_argument(
+        "--ignore", default=None, metavar="RULE[,RULE...]",
+        help="run every rule except these",
+    )
+    lint_cmd.add_argument(
+        "--only", default=None, help=argparse.SUPPRESS,  # legacy --select alias
     )
     lint_cmd.add_argument(
         "--show-suppressed", action="store_true", dest="show_suppressed",
@@ -1535,6 +1691,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument(
         "--list-suppressions", action="store_true", dest="list_suppressions",
         help="print the suppression inventory instead of findings",
+    )
+    lint_cmd.add_argument(
+        "--check-suppressions", action="store_true", dest="check_suppressions",
+        help="diff the committed suppression inventory against a fresh "
+        "one; on staleness print the unified diff and the regeneration "
+        "command",
+    )
+    lint_cmd.add_argument(
+        "--suppressions-file", default="SUPPRESSIONS.md",
+        dest="suppressions_file", metavar="PATH",
+        help="inventory checked by --check-suppressions",
     )
     lint_cmd.add_argument(
         "--rules", action="store_true",
@@ -1572,6 +1739,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the runtime sanitizer during the paired runs",
     )
     verify_cmd.set_defaults(func=_cmd_verify_determinism)
+
+    order_cmd = commands.add_parser(
+        "verify-order",
+        help="schedule-perturbation proof: re-run per engine under seeded "
+        "permutations of event-tie pop order and byte-diff all exports",
+    )
+    order_cmd.add_argument(
+        "--sps", default="all", choices=SPS_NAMES + ("all",),
+        help="engine to check, or all four",
+    )
+    order_cmd.add_argument("--serving", default="onnx", choices=SERVING_TOOLS)
+    order_cmd.add_argument("--model", default="ffnn", choices=MODEL_NAMES)
+    order_cmd.add_argument("--bsz", type=int, default=1)
+    order_cmd.add_argument("--mp", type=int, default=1)
+    order_cmd.add_argument("--seed", type=int, default=0)
+    order_cmd.add_argument(
+        "--ir", type=float, default=50.0, help="input rate (events/s)"
+    )
+    order_cmd.add_argument(
+        "--duration", type=float, default=2.0, help="simulated seconds"
+    )
+    order_cmd.add_argument(
+        "--nodes", type=int, default=0,
+        help="also cluster the scenario over this many simulated nodes "
+        "(0 = single-node, no cluster layer)",
+    )
+    order_cmd.add_argument(
+        "--permutations", type=int, default=3,
+        help="seeded tie-permutation runs per scheduler backend",
+    )
+    order_cmd.add_argument(
+        "--schedulers", default="calendar,heap",
+        help="comma-separated kernel scheduler backends to prove on",
+    )
+    order_cmd.add_argument(
+        "--no-sanitize", action="store_true", dest="no_sanitize",
+        help="skip the runtime sanitizer during the runs",
+    )
+    order_cmd.set_defaults(func=_cmd_verify_order)
 
     store_cmd = commands.add_parser(
         "store", help="results database maintenance (import, info)"

@@ -2,9 +2,23 @@
 
 from __future__ import annotations
 
+import typing
+
 from repro import calibration as cal
 from repro.nn.zoo import ModelInfo
 from repro.simul import RandomStreams
+
+
+def noise_key(ctx: typing.Any) -> int | None:
+    """Stable noise identity of a scoring request.
+
+    Returns the producer-assigned batch id when the scoring context
+    carries one (every engine passes the :class:`~repro.core.batch.
+    CrayfishDataBatch` as ``ctx``), else ``None`` for the sequential
+    draw-ordered fallback.
+    """
+    key = getattr(ctx, "batch_id", None)
+    return key if isinstance(key, int) else None
 
 
 class ServingCostModel:
@@ -109,14 +123,32 @@ class ServingCostModel:
         return self._modulation_cache[bucket]
 
     def apply_time(
-        self, bsz: int, vectorized: bool = False, now: float | None = None
+        self,
+        bsz: int,
+        vectorized: bool = False,
+        now: float | None = None,
+        key: int | None = None,
     ) -> float:
-        """Service time with per-request noise and slow drift applied."""
+        """Service time with per-request noise and slow drift applied.
+
+        ``key`` is the request's stable content identity (the batch id).
+        When given, the per-request noise factor is a pure function of
+        it, so concurrent workers sharing this cost model draw identical
+        noise for identical work no matter which one the scheduler pops
+        first. Callers without a request identity (coalesced flushes of
+        anonymous point counts) fall back to the sequential stream and
+        accept tie-order sensitivity — verify-order will surface it.
+        """
         time = self.base_apply_time(bsz, vectorized=vectorized)
         if self.rng is not None:
-            time *= self.rng.lognormal_factor(
-                self._noise_stream, self.profile.noise_sigma
-            )
+            if key is not None:
+                time *= self.rng.keyed_lognormal_factor(
+                    self._noise_stream, self.profile.noise_sigma, key
+                )
+            else:
+                time *= self.rng.lognormal_factor(
+                    self._noise_stream, self.profile.noise_sigma
+                )
         return time * self._slow_modulation(now)
 
     def load_time(self) -> float:

@@ -12,7 +12,7 @@ import typing
 
 from repro.nn.gnn import GcnModel
 from repro.serving.base import ScoringResult
-from repro.serving.costs import ServingCostModel
+from repro.serving.costs import ServingCostModel, noise_key
 from repro.serving.embedded.library import EmbeddedLibrary
 from repro.serving.state import StateStore
 from repro.simul import Environment
@@ -48,7 +48,12 @@ class GnnEmbeddedTool(EmbeddedLibrary):
             self.tracer.end(wait)
             span = self.tracer.begin(ctx, "serving.inference")
             yield self.env.service_timeout(
-                self.costs.apply_time(bsz, vectorized=vectorized, now=self.env.now)
+                self.costs.apply_time(
+                    bsz,
+                    vectorized=vectorized,
+                    now=self.env.now,
+                    key=noise_key(ctx),
+                )
             )
             self.tracer.end(span)
         self.requests_served += 1

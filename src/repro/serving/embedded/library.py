@@ -14,7 +14,7 @@ from __future__ import annotations
 import typing
 
 from repro.serving.base import ScoringResult, ServingTool
-from repro.serving.costs import ServingCostModel
+from repro.serving.costs import ServingCostModel, noise_key
 from repro.simul import Environment, Resource
 
 
@@ -52,7 +52,12 @@ class EmbeddedLibrary(ServingTool):
             self.tracer.end(wait)
             span = self.tracer.begin(ctx, "serving.inference", gpu=self.costs.gpu)
             yield self.env.service_timeout(
-                self.costs.apply_time(bsz, vectorized=vectorized, now=self.env.now)
+                self.costs.apply_time(
+                    bsz,
+                    vectorized=vectorized,
+                    now=self.env.now,
+                    key=noise_key(ctx),
+                )
             )
             self.tracer.end(span)
         self.requests_served += 1

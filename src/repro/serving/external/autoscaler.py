@@ -15,6 +15,7 @@ import dataclasses
 import typing
 
 from repro.errors import ConfigError
+from repro.serving.costs import noise_key
 from repro.serving.external.server import ExternalServingService
 from repro.simul import Environment
 
@@ -165,6 +166,7 @@ class Autoscaler:
                         request.bsz,
                         vectorized=request.vectorized,
                         now=self.env.now,
+                        key=noise_key(request.ctx),
                     )
                 )
                 tracer.end(span)

@@ -14,6 +14,7 @@ import dataclasses
 import typing
 
 from repro.errors import ConfigError
+from repro.serving.costs import noise_key
 from repro.simul import Store
 
 
@@ -122,8 +123,15 @@ def _batch_worker(service) -> typing.Generator:
                 tracer.begin(r.ctx, "serving.inference", coalesced=len(batch))
                 for r in batch
             ]
+            # Key the coalesced call's noise on the oldest member so the
+            # draw stays a pure function of which requests coalesced.
+            keys = [noise_key(request.ctx) for request in batch]
             yield env.service_timeout(
-                service.costs.apply_time(total_points, now=env.now)
+                service.costs.apply_time(
+                    total_points,
+                    now=env.now,
+                    key=min((k for k in keys if k is not None), default=None),
+                )
             )
             for span in spans:
                 tracer.end(span)

@@ -15,7 +15,7 @@ import typing
 from repro.errors import TransientError
 from repro.netsim import RpcChannel
 from repro.serving.base import ScoringResult, ServingTool
-from repro.serving.costs import ServingCostModel
+from repro.serving.costs import ServingCostModel, noise_key
 from repro.simul import Environment, Event, Interrupt, Process, Resource, Store
 
 
@@ -113,6 +113,7 @@ class ExternalServingService(ServingTool):
                         request.bsz,
                         vectorized=request.vectorized,
                         now=self.env.now,
+                        key=noise_key(request.ctx),
                     )
                     # A straggling replica (noisy neighbour) stretches
                     # inference on this worker; 1.0 when healthy.

@@ -2,18 +2,51 @@
 
 from __future__ import annotations
 
+import contextlib
 import typing
 
 from repro.errors import SimulationError
 from repro.simul.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout
 from repro.simul.process import Process
-from repro.simul.scheduler import SCHEDULERS
+from repro.simul.scheduler import PermutedScheduler, SCHEDULERS
 
 
 INFINITY = float("inf")
 
 #: Upper bound on Timeout objects kept in the slab pool.
 _TIMEOUT_POOL_CAP = 1024
+
+#: Analysis-mode construction overrides applied to every Environment
+#: built while :func:`kernel_overrides` is active.  This is how the
+#: concurrency analyzer instruments a run without threading knobs
+#: through every layer that creates an Environment: ``scheduler``
+#: forces a backend, ``perturb_seed`` wraps it in a seeded
+#: :class:`~repro.simul.scheduler.PermutedScheduler`, and ``tracker``
+#: attaches a tie-race tracker (duck-typed: ``attach``/``on_schedule``/
+#: ``on_pop``/``on_state``).  All default to off; the hot path pays one
+#: ``is not None`` check.
+_OVERRIDES: dict[str, typing.Any] = {
+    "scheduler": None,
+    "perturb_seed": None,
+    "tracker": None,
+}
+
+
+@contextlib.contextmanager
+def kernel_overrides(
+    scheduler: str | None = None,
+    perturb_seed: int | None = None,
+    tracker: typing.Any = None,
+) -> typing.Iterator[None]:
+    """Scope analysis-mode kernel instrumentation to a ``with`` block."""
+    previous = dict(_OVERRIDES)
+    _OVERRIDES["scheduler"] = scheduler
+    _OVERRIDES["perturb_seed"] = perturb_seed
+    _OVERRIDES["tracker"] = tracker
+    try:
+        yield
+    finally:
+        _OVERRIDES.update(previous)
 
 
 class Environment:
@@ -27,6 +60,8 @@ class Environment:
     """
 
     def __init__(self, initial_time: float = 0.0, scheduler: str = "calendar") -> None:
+        if _OVERRIDES["scheduler"] is not None:
+            scheduler = _OVERRIDES["scheduler"]
         try:
             factory = SCHEDULERS[scheduler]
         except KeyError:
@@ -34,10 +69,16 @@ class Environment:
                 f"unknown scheduler {scheduler!r}; expected one of {sorted(SCHEDULERS)}"
             ) from None
         self._now = float(initial_time)
-        self._sched = factory()
+        sched = factory()
+        if _OVERRIDES["perturb_seed"] is not None:
+            sched = PermutedScheduler(sched, _OVERRIDES["perturb_seed"])
+        self._sched = sched
         self._seq = 0
         self._active_process: Process | None = None
         self._timeout_pool: list[Timeout] = []
+        self._tracker = _OVERRIDES["tracker"]
+        if self._tracker is not None:
+            self._tracker.attach(self)
 
     @property
     def now(self) -> float:
@@ -58,6 +99,8 @@ class Environment:
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Queue ``event`` to be processed ``delay`` time units from now."""
         self._seq += 1
+        if self._tracker is not None:
+            self._tracker.on_schedule(self._seq, self._now + delay, priority)
         self._sched.push((self._now + delay, priority, self._seq, event), self._now)
 
     def peek(self) -> float:
@@ -72,6 +115,8 @@ class Environment:
             raise SimulationError("no more events") from None
         self._now = entry[0]
         event = entry[3]
+        if self._tracker is not None:
+            self._tracker.on_pop(entry)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

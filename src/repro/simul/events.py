@@ -163,6 +163,16 @@ class _Condition(Event):
                 except ValueError:
                     pass
 
+    def _abandon(self) -> None:
+        # The waiter was interrupted while the condition was still
+        # undecided: drop our _check from every still-pending child.
+        # Without this, a condition over a shared long-lived event (e.g.
+        # a timeout-vs-result race against a fleet-wide signal) leaves a
+        # dead callback on that event for the rest of the run — the
+        # condition-callback leak class PR 8 fixed for *decided*
+        # conditions, closed here for *abandoned* ones.
+        self._detach()
+
     def _collect(self) -> dict:
         # Only events already *processed* count as "happened"; a Timeout
         # carries its value from creation, so `triggered` would wrongly

@@ -43,3 +43,31 @@ class RandomStreams:
         if sigma <= 0:
             return 1.0
         return float(self.stream(name).lognormal(mean=0.0, sigma=sigma))
+
+    def keyed_lognormal_factor(self, name: str, sigma: float, key: int) -> float:
+        """Content-keyed variant of :meth:`lognormal_factor`.
+
+        The factor is a pure function of ``(seed, name, key)`` instead of
+        of how many draws preceded it on the stream. That matters when
+        two simulation processes consume one named stream concurrently:
+        a sequential stream assigns variates to requests in *pop order*,
+        so any event-tie flip silently re-pairs requests with noise — the
+        exact hazard class ``crayfish verify-order`` exists to catch.
+        Keying by stable content identity (e.g. a batch id) makes the
+        assignment schedule-independent.
+        """
+        if sigma <= 0:
+            return 1.0
+        # A fresh child sequence per key: ".keyed" separates the keyed
+        # namespace from the sequential stream of the same name, and the
+        # crc32 of the key text sidesteps spawn_key's uint32 bound.
+        child = np.random.SeedSequence(
+            entropy=np.random.SeedSequence(self.seed).entropy,
+            spawn_key=(
+                zlib.crc32(f"{name}.keyed".encode("utf-8")),
+                zlib.crc32(str(int(key)).encode("utf-8")),
+            ),
+        )
+        return float(
+            np.random.default_rng(child).lognormal(mean=0.0, sigma=sigma)
+        )

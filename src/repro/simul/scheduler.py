@@ -276,6 +276,91 @@ class CalendarScheduler:
         self._epoch_end = end
 
 
+class PermutedScheduler:
+    """Schedule-perturbation wrapper: seeded shuffle inside tie classes.
+
+    Wraps any backend from :data:`SCHEDULERS` and pops entries in a
+    *seeded random order within each tie class* while preserving every
+    cross-class ordering guarantee.  A tie class is the set of queued
+    entries sharing one ``(time, priority)`` key — exactly the entries
+    whose relative order the kernel resolves by insertion sequence, i.e.
+    the only ordering freedom a real concurrent system would have.
+
+    This is the mechanism behind ``crayfish verify-order`` (a DPOR-lite
+    schedule fuzzer): if an experiment's exports are byte-identical for
+    every permutation seed, no result can depend on same-timestamp pop
+    order.  Causality is respected by construction — an entry scheduled
+    while a tie class is draining only joins the pool *after* the entry
+    that created it was popped, so a perturbed schedule is always one a
+    legal scheduler could have produced.
+
+    Determinism: for a fixed ``(base backend, seed)`` the perturbed pop
+    sequence is itself a pure function of the push sequence, and it is
+    identical across backends because every backend drains ties in the
+    same (key-sorted) order.
+    """
+
+    __slots__ = ("_base", "_rng", "_pools", "_pool_time", "_pooled")
+
+    kind = "permuted"
+
+    def __init__(self, base: object, seed: int) -> None:
+        from repro.simul.rng import RandomStreams
+
+        self._base = base
+        self._rng = RandomStreams(seed).stream("tie-permutation")
+        #: (time, priority) -> queued entries of the active tie tick.
+        self._pools: dict[tuple[float, int], list[Entry]] = {}
+        self._pool_time: float = -INFINITY
+        self._pooled = 0
+
+    def __len__(self) -> int:
+        return len(self._base) + self._pooled
+
+    def push(self, entry: Entry, now: float) -> None:
+        if self._pooled and entry[0] == self._pool_time:
+            # Scheduled while its tick is draining: joins the live pool
+            # (it is available for the very next pop, like any entry the
+            # base scheduler would surface at this time).
+            self._pools.setdefault((entry[0], entry[1]), []).append(entry)
+            self._pooled += 1
+        else:
+            self._base.push(entry, now)
+
+    def push_batch(self, entries: typing.Sequence[Entry], now: float) -> None:
+        for entry in entries:
+            self.push(entry, now)
+
+    def _drain_tick(self) -> None:
+        """Pull every base entry of the next timestamp into the pools."""
+        base = self._base
+        time = base.peek()
+        if time == INFINITY:
+            raise IndexError("pop from an empty scheduler")
+        pools = self._pools
+        while len(base) and base.peek() == time:
+            entry = base.pop()
+            pools.setdefault((entry[0], entry[1]), []).append(entry)
+            self._pooled += 1
+        self._pool_time = time
+
+    def pop(self) -> Entry:
+        if not self._pooled:
+            self._pools.clear()
+            self._drain_tick()
+        key = min(k for k, pool in self._pools.items() if pool)
+        pool = self._pools[key]
+        index = int(self._rng.integers(len(pool))) if len(pool) > 1 else 0
+        entry = pool.pop(index)
+        self._pooled -= 1
+        return entry
+
+    def peek(self) -> float:
+        if self._pooled:
+            return self._pool_time
+        return self._base.peek()
+
+
 #: Registry used by :class:`repro.simul.core.Environment`.
 SCHEDULERS: dict[str, type] = {
     HeapScheduler.kind: HeapScheduler,

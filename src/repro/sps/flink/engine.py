@@ -195,7 +195,9 @@ class FlinkProcessor(DataProcessor):
         ]
         yield self.env.service_timeout(self.profile.score_overhead * self.slowdown)
         total_points = sum(event.batch.points for event in window)
-        result = yield from self.tool.score(total_points)
+        # ctx = oldest window member, for span attribution and a
+        # schedule-independent (content-keyed) noise draw.
+        result = yield from self.tool.score(total_points, ctx=window[0].batch)
         for span in spans:
             self.tracer.end(span)
         if result is None:
@@ -223,9 +225,13 @@ class FlinkProcessor(DataProcessor):
                 yield self.env.service_timeout(self._source_cost(event))
                 self.tracer.end(span)
                 wait = self.tracer.begin(event.batch, "flink.buffer_wait")
+                # Mark at enqueue, before the put: the downstream task's
+                # lapse() is in the same tie class as this task's
+                # resumption, so a mark after the yield loses the
+                # exchange-wait span when pop order flips.
+                self.tracer.mark(event.batch, "flink.exchange")
                 yield downstream.put(event)  # blocks when buffers are full
                 self.tracer.end(wait)
-                self.tracer.mark(event.batch, "flink.exchange")
 
     def _scoring_task(self, upstream: Store, downstream: Store) -> typing.Generator:
         while True:
@@ -236,9 +242,10 @@ class FlinkProcessor(DataProcessor):
                 self.batches_shed += 1
                 continue
             wait = self.tracer.begin(event.batch, "flink.buffer_wait")
+            # Enqueue mark precedes the put (same tie-race as above).
+            self.tracer.mark(event.batch, "flink.exchange")
             yield downstream.put(event)
             self.tracer.end(wait)
-            self.tracer.mark(event.batch, "flink.exchange")
 
     def _sink_task(self, upstream: Store) -> typing.Generator:
         while True:

@@ -30,8 +30,12 @@ class RayProcessor(DataProcessor):
     profile = cal.RAY_PROFILE
 
     def _spawn_tasks(self) -> None:
-        # One serialized per-node scheduler shared by all actors.
-        self._node = Resource(self.env, capacity=1)
+        # One serialized scheduler *per cluster node*: actors placed on
+        # the same node contend for it, actors on other nodes do not.
+        # Single-node runs (no placement on the input gateway) collapse
+        # to one shared resource, the original Fig. 11 bottleneck.
+        node_of = getattr(self.input, "node_of_member", None)
+        self._node_scheds: dict[object, Resource] = {}
         self._mailboxes: dict[str, list[Store]] = {"score": [], "output": []}
         for stage in self._mailboxes:
             self.metrics.gauge(
@@ -46,16 +50,22 @@ class RayProcessor(DataProcessor):
             )
         self.metrics.gauge(
             "ray_scheduler_queue",
-            help="deliveries waiting on the serialized node scheduler",
-            fn=lambda: len(self._node.queue),
+            help="deliveries waiting on the serialized node schedulers",
+            fn=lambda: sum(
+                len(sched.queue) for sched in self._node_scheds.values()
+            ),
         )
         for lane in range(self.mp):
+            node = node_of(lane) if node_of is not None else None
+            sched = self._node_scheds.get(node)
+            if sched is None:
+                sched = self._node_scheds[node] = Resource(self.env, capacity=1)
             score_box: Store = Store(self.env, capacity=MAILBOX_CAPACITY)
             out_box: Store = Store(self.env, capacity=MAILBOX_CAPACITY)
             self._mailboxes["score"].append(score_box)
             self._mailboxes["output"].append(out_box)
             self._spawn(self._input_actor(lane, self.mp, score_box))
-            self._spawn(self._scoring_actor(score_box, out_box))
+            self._spawn(self._scoring_actor(score_box, out_box, sched))
             self._spawn(self._output_actor(out_box))
 
     def _input_actor(self, member: int, members: int, downstream: Store) -> typing.Generator:
@@ -73,11 +83,17 @@ class RayProcessor(DataProcessor):
                 )
                 self.tracer.end(span)
                 wait = self.tracer.begin(event.batch, "ray.mailbox_wait")
+                # Mark at enqueue, before the put: the consumer's lapse()
+                # races the putter's resumption in the same tie class, so
+                # marking after the yield drops the dwell span whenever
+                # the getter pops first (verify-order caught this).
+                self.tracer.mark(event.batch, "ray.mailbox")
                 yield downstream.put(event)
                 self.tracer.end(wait)
-                self.tracer.mark(event.batch, "ray.mailbox")
 
-    def _scoring_actor(self, upstream: Store, downstream: Store) -> typing.Generator:
+    def _scoring_actor(
+        self, upstream: Store, downstream: Store, node_sched: Resource
+    ) -> typing.Generator:
         while True:
             event = yield upstream.get()
             self.tracer.lapse(event.batch, "ray.mailbox_dwell", "ray.mailbox")
@@ -88,7 +104,7 @@ class RayProcessor(DataProcessor):
             self.tracer.end(span)
             # Delivery into the scoring stage crosses the node scheduler.
             wait = self.tracer.begin(event.batch, "ray.scheduler_wait")
-            with self._node.request() as slot:
+            with node_sched.request() as slot:
                 yield slot
                 self.tracer.end(wait)
                 span = self.tracer.begin(event.batch, "ray.scheduler")
@@ -101,9 +117,11 @@ class RayProcessor(DataProcessor):
                 self.batches_shed += 1
                 continue
             wait = self.tracer.begin(event.batch, "ray.mailbox_wait")
+            # Enqueue mark precedes the put for the same tie-race reason
+            # as in _input_actor.
+            self.tracer.mark(event.batch, "ray.mailbox")
             yield downstream.put(event)
             self.tracer.end(wait)
-            self.tracer.mark(event.batch, "ray.mailbox")
 
     def _output_actor(self, upstream: Store) -> typing.Generator:
         while True:

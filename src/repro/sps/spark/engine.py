@@ -118,7 +118,12 @@ class SparkProcessor(DataProcessor):
             self.tracer.begin(e.batch, "spark.score", chunk=len(events))
             for e in events
         ]
-        result = yield from self.tool.score(total_points, vectorized=True)
+        # ctx carries the chunk's oldest batch: serving attributes its
+        # spans (and, crucially, its content-keyed noise draw) to a
+        # stable member instead of drawing in schedule order.
+        result = yield from self.tool.score(
+            total_points, vectorized=True, ctx=events[0].batch
+        )
         for span in spans:
             self.tracer.end(span)
         if result is None:  # shed by the resilience layer

@@ -100,6 +100,24 @@ def test_unused_pragma_is_a_finding():
     assert "suppresses nothing" in report.findings[0].message
 
 
+def test_unused_pragma_for_unselected_rule_is_left_alone():
+    # Under --select the unselected rules never run, so their pragmas
+    # cannot be proven dead and must not be reported as suppressing
+    # nothing (the CI race-gate lints src/ with only the race rules).
+    from repro.analysis.core import make_rules
+
+    report = lint_source(
+        textwrap.dedent("""
+            import time
+
+            t = time.time()  # crayfish: allow[wall-clock]: CLI boundary timestamp
+        """),
+        path="fixture.py",
+        rules=make_rules(["race-zero-timeout", "unsorted-iteration"]),
+    )
+    assert report.findings == ()
+
+
 def test_pragma_naming_unknown_rule_is_a_finding():
     report = lint("""
         x = 1  # crayfish: allow[no-such-rule]: typo'd rule name

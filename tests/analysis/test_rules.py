@@ -187,6 +187,36 @@ def test_unsorted_iteration_true_negative():
     assert "unsorted-iteration" not in rules_hit(UNSORTED_TN)
 
 
+def test_unsorted_iteration_values_feeding_scheduling():
+    """The .values() blind spot: insertion-ordered views are fine in
+    general, but not when the loop body enqueues simulation work."""
+    assert "unsorted-iteration" in rules_hit(
+        "def spawn_all(env, workers):\n"
+        "    for w in workers.values():\n"
+        "        env.process(w.run())\n"
+    )
+    assert "unsorted-iteration" in rules_hit(
+        "def spawn_all(engine, lanes):\n"
+        "    for lane in lanes.values():\n"
+        "        engine.push_batch(lane)\n"
+    )
+    assert "unsorted-iteration" in rules_hit(
+        "def spawn_all(env, workers):\n"
+        "    return [env.process(w.run()) for w in workers.values()]\n"
+    )
+
+
+def test_unsorted_iteration_values_without_scheduling_clean():
+    assert "unsorted-iteration" not in rules_hit(
+        "def names(workers):\n"
+        "    return [w.name for w in workers.values()]\n"
+    )
+    assert "unsorted-iteration" not in rules_hit(
+        "def total(queues):\n"
+        "    return sum(len(q) for q in queues.values())\n"
+    )
+
+
 def test_unsorted_iteration_set_literal_and_calls():
     assert "unsorted-iteration" in rules_hit(
         "rows = list(set(xs))\n"
@@ -401,7 +431,7 @@ def test_silent_except_bare():
 # -- framework --------------------------------------------------------------
 
 
-def test_all_eight_rules_registered():
+def test_all_rules_registered():
     assert set(rule_names()) == {
         "wall-clock",
         "global-random",
@@ -411,6 +441,12 @@ def test_all_eight_rules_registered():
         "blocking-io",
         "mutable-default",
         "silent-except",
+        # concurrency-race catalogue (repro.analysis.races)
+        "race-request-leak",
+        "race-shared-condition",
+        "race-shared-state",
+        "race-zero-timeout",
+        "tie-race",
     }
 
 

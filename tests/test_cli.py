@@ -328,6 +328,79 @@ def test_lint_command_missing_path(capsys):
     assert main(["lint", "no/such/dir"]) == 2
 
 
+def test_lint_command_select_filters(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\nh = hash('x')\n")
+    code = main(["lint", str(bad), "--select", "hash-randomization"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "hash-randomization" in out
+    assert "wall-clock" not in out
+
+
+def test_lint_command_select_clean_subset_exit_zero(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main(["lint", str(bad), "--select", "hash-randomization"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_command_ignore_drops_rule(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\nh = hash('x')\n")
+    code = main(["lint", str(bad), "--ignore", "wall-clock"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "hash-randomization" in out
+    assert "wall-clock" not in out
+    assert main(["lint", str(bad), "--ignore", "wall-clock,hash-randomization"]) == 0
+
+
+def test_lint_command_unknown_rule_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1\n")
+    assert main(["lint", str(bad), "--select", "no-such-rule"]) == 2
+    assert "no-such-rule" in capsys.readouterr().err
+    assert main(["lint", str(bad), "--ignore", "also-bogus"]) == 2
+    assert "also-bogus" in capsys.readouterr().err
+
+
+def test_lint_command_check_suppressions_fresh(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "t = time.time()  # crayfish: allow[wall-clock]: test boundary\n"
+    )
+    inventory = tmp_path / "SUPPRESSIONS.md"
+    assert main(["lint", str(target), "--list-suppressions"]) == 0
+    inventory.write_text(capsys.readouterr().out)
+    code = main([
+        "lint", str(target), "--check-suppressions",
+        "--suppressions-file", str(inventory),
+    ])
+    assert code == 0
+    assert "is fresh" in capsys.readouterr().out
+
+
+def test_lint_command_check_suppressions_stale_prints_diff(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "t = time.time()  # crayfish: allow[wall-clock]: test boundary\n"
+    )
+    inventory = tmp_path / "SUPPRESSIONS.md"
+    inventory.write_text("# stale inventory\n")
+    code = main([
+        "lint", str(target), "--check-suppressions",
+        "--suppressions-file", str(inventory),
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "--- " in out and "+++ " in out  # unified diff headers
+    assert "regenerate with" in out
+    assert f"--list-suppressions {target} > {inventory}" in out
+
+
 def test_verify_determinism_command(capsys):
     code = main(
         ["verify-determinism", "--sps", "flink", "--ir", "60", "--duration", "1"]
@@ -338,7 +411,26 @@ def test_verify_determinism_command(capsys):
     assert "reproduce byte-identically" in out
 
 
+def test_verify_order_command(capsys):
+    code = main([
+        "verify-order", "--sps", "flink", "--ir", "30",
+        "--duration", "0.5", "--permutations", "1", "--no-sanitize",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "order-independent" in out
+    assert "byte-identical across 2 perturbed schedule(s)" in out
+
+
 def test_run_command_sanitized(capsys):
     code = main(["run", "--duration", "1", "--ir", "50", "--sanitize"])
     assert code == 0
     assert "throughput" in capsys.readouterr().out
+
+
+def test_run_command_tie_track(capsys):
+    code = main(["run", "--duration", "1", "--ir", "50", "--tie-track"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tie tracker:" in out
+    assert "0 conflict(s)" in out
